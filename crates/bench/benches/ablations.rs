@@ -1,0 +1,75 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! PROTEAN with individual mechanisms disabled, timed end to end. The
+//! quality impact (SLO compliance deltas) of the same variants is
+//! printed by `cargo run -p protean-experiments --bin ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protean::{ProteanBuilder, ProteanConfig, ReconfiguratorConfig};
+use protean_cluster::run_simulation;
+use protean_models::ModelId;
+
+use protean_bench::{bench_cluster, bench_setup};
+
+fn variant(name: &'static str, f: impl FnOnce(&mut ProteanConfig)) -> ProteanBuilder {
+    let mut config = ProteanConfig::paper();
+    config.name = name;
+    f(&mut config);
+    ProteanBuilder::with_config(config, 2.0)
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let variants: Vec<(&str, ProteanBuilder)> = vec![
+        ("paper", ProteanBuilder::paper()),
+        (
+            "no_reorder",
+            variant("PROTEAN (no reorder)", |c| c.reorder = false),
+        ),
+        (
+            "no_eta",
+            variant("PROTEAN (largest-slice strict)", |c| {
+                c.eta_placement = false
+            }),
+        ),
+        (
+            "no_reconfig",
+            variant("PROTEAN (static geometry)", |c| c.dynamic_reconfig = false),
+        ),
+        (
+            "no_wait_counter",
+            variant("PROTEAN (eager reconfig)", |c| {
+                c.reconfigurator = ReconfiguratorConfig {
+                    wait_limit: 0,
+                    ..ReconfiguratorConfig::default()
+                }
+            }),
+        ),
+        (
+            "last_value_predictor",
+            variant("PROTEAN (no EWMA)", |c| {
+                c.reconfigurator = ReconfiguratorConfig {
+                    ewma_alpha: 1.0,
+                    ..ReconfiguratorConfig::default()
+                }
+            }),
+        ),
+    ];
+    let mut group = c.benchmark_group("ablations");
+    for (label, builder) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = run_simulation(&bench_cluster(), &builder, &trace);
+                assert!(r.metrics.records().len() > 100);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants
+);
+criterion_main!(ablations);

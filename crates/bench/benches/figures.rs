@@ -1,0 +1,173 @@
+//! One macro benchmark per paper table/figure: each iteration runs the
+//! figure's core simulation at a reduced scale (20 simulated seconds),
+//! so `cargo bench` exercises every experiment end to end.
+//!
+//! The printed *values* of each figure come from the corresponding
+//! `protean-experiments` binary (`fig05_slo_vision` etc.); these
+//! benches track the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_cluster::{run_simulation, SchemeBuilder};
+use protean_models::ModelId;
+use protean_sim::SimDuration;
+use protean_spot::{ProcurementPolicy, SpotAvailability};
+
+use protean_bench::{bench_cluster, bench_setup};
+
+fn run(scheme: &dyn SchemeBuilder, trace: &protean_trace::TraceConfig) {
+    let result = run_simulation(&bench_cluster(), scheme, trace);
+    assert!(result.metrics.records().len() > 100);
+}
+
+/// Fig. 2: the five motivational schemes on one GPU (DLA workload).
+fn fig02(c: &mut Criterion) {
+    let setup = bench_setup();
+    let mut config = bench_cluster();
+    config.workers = 1;
+    let mut trace = setup.constant_trace(ModelId::SimplifiedDla, 500.0);
+    trace.be_pool = vec![ModelId::SimplifiedDla];
+    c.bench_function("fig02_motivation/smart_mps_mig", |b| {
+        b.iter(|| {
+            let r = run_simulation(&config, &Baseline::SmartMpsMig, &trace);
+            assert!(r.metrics.records().len() > 100);
+        })
+    });
+}
+
+/// Fig. 5 / Fig. 6: the primary vision comparison (one model per scheme).
+fn fig05_fig06(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    c.bench_function("fig05_slo_vision/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &trace))
+    });
+    c.bench_function("fig05_slo_vision/infless_llama", |b| {
+        b.iter(|| run(&Baseline::InflessLlama, &trace))
+    });
+    c.bench_function("fig06_breakdown/molecule", |b| {
+        b.iter(|| run(&Baseline::MoleculeBeta, &trace))
+    });
+}
+
+/// Fig. 7: dynamic reconfiguration under BE-model rotation.
+fn fig07(c: &mut Criterion) {
+    let setup = bench_setup();
+    let mut trace = setup.wiki_trace(ModelId::ShuffleNetV2);
+    trace.be_pool = vec![ModelId::Dpn92, ModelId::MobileNet];
+    trace.be_rotation_period = SimDuration::from_secs(8.0);
+    c.bench_function("fig07_reconfig_timeline/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &trace))
+    });
+}
+
+/// Fig. 8: the latency CDF workload (SENet 18).
+fn fig08(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.wiki_trace(ModelId::SeNet18);
+    c.bench_function("fig08_latency_cdf/naive_slicing", |b| {
+        b.iter(|| run(&Baseline::NaiveSlicing, &trace))
+    });
+}
+
+/// Fig. 9: the spot-market experiment (hybrid under low availability).
+fn fig09(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let mut config = bench_cluster();
+    config.procurement = ProcurementPolicy::Hybrid;
+    config.availability = SpotAvailability::Low;
+    config.revocation_check = SimDuration::from_secs(10.0);
+    config.vm_startup = SimDuration::from_secs(10.0);
+    config.procurement_retry = SimDuration::from_secs(10.0);
+    c.bench_function("fig09_cost_slo/hybrid_low_availability", |b| {
+        b.iter(|| {
+            let r = run_simulation(&config, &ProteanBuilder::paper(), &trace);
+            assert!(r.cost.total_usd > 0.0);
+        })
+    });
+}
+
+/// Fig. 10: throughput/utilization workloads.
+fn fig10(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.wiki_trace(ModelId::DenseNet121);
+    c.bench_function("fig10_throughput_util/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &trace))
+    });
+}
+
+/// Fig. 11: the erratic Twitter trace.
+fn fig11(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.twitter_trace(ModelId::MobileNet);
+    c.bench_function("fig11_twitter/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &trace))
+    });
+}
+
+/// Figs. 12–13: the language-model workloads.
+fn fig12_fig13(c: &mut Criterion) {
+    let setup = bench_setup();
+    let bert = setup.wiki_trace(ModelId::Bert);
+    c.bench_function("fig12_vhi_llm/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &bert))
+    });
+    let gpt = setup.wiki_trace(ModelId::Gpt2);
+    c.bench_function("fig13_gpt/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &gpt))
+    });
+}
+
+/// Fig. 14 / Tables 4–5: skewed and extreme strictness ratios.
+fn fig14_tables(c: &mut Criterion) {
+    let setup = bench_setup();
+    let skewed = setup.wiki_trace_with_ratio(ModelId::Dpn92, 0.75);
+    c.bench_function("fig14_skewed/protean_75_25", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &skewed))
+    });
+    let mut all_strict = setup.wiki_trace_with_ratio(ModelId::ResNet50, 1.0);
+    all_strict.be_pool.clear();
+    c.bench_function("table4_all_strict/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &all_strict))
+    });
+    let all_be = setup.wiki_trace_with_ratio(ModelId::ResNet50, 0.0);
+    c.bench_function("table5_all_be/protean", |b| {
+        b.iter(|| run(&ProteanBuilder::paper(), &all_be))
+    });
+}
+
+/// Figs. 15–17: tight SLO, GPUlet and Oracle comparisons.
+fn fig15_to_17(c: &mut Criterion) {
+    let setup = bench_setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let mut tight = bench_cluster();
+    tight.slo_multiplier = 2.0;
+    c.bench_function("fig15_tight_slo/protean", |b| {
+        b.iter(|| {
+            let r = run_simulation(&tight, &ProteanBuilder::paper(), &trace);
+            assert!(r.metrics.records().len() > 100);
+        })
+    });
+    c.bench_function("fig16_gpulet/gpulet", |b| {
+        b.iter(|| run(&Baseline::Gpulet, &trace))
+    });
+    let mut oracle_cfg = bench_cluster();
+    oracle_cfg.reconfig_delay = SimDuration::ZERO;
+    oracle_cfg.cold_start = SimDuration::ZERO;
+    c.bench_function("fig17_oracle/oracle", |b| {
+        b.iter(|| {
+            let r = run_simulation(&oracle_cfg, &ProteanBuilder::oracle(), &trace);
+            assert!(r.metrics.records().len() > 100);
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig02, fig05_fig06, fig07, fig08, fig09, fig10, fig11,
+        fig12_fig13, fig14_tables, fig15_to_17
+);
+criterion_main!(figures);

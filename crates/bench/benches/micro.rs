@@ -1,0 +1,154 @@
+//! Micro-benchmarks of the scheduler's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use protean::{choose_best_effort_slice, choose_strict_slice, tag_slices, Protean, ProteanConfig};
+use protean::{Reconfigurator, ReconfiguratorConfig};
+use protean_cluster::{BatchView, PlacementCtx, Scheme};
+use protean_gpu::{Geometry, Gpu, GpuId, JobId, JobSpec, SharingMode, Slice, SliceProfile};
+use protean_models::{catalog, Catalog, ModelId};
+use protean_sim::{RngFactory, SimDuration, SimTime};
+use protean_trace::{TraceConfig, TraceShape};
+
+/// MPS slice churn: admit four co-located jobs, then retire them in
+/// projection order — the engine's innermost loop.
+fn bench_slice_churn(c: &mut Criterion) {
+    c.bench_function("slice/admit_finish_churn_x4", |b| {
+        b.iter_batched(
+            || Slice::new(SliceProfile::G4, SharingMode::Mps, SimTime::ZERO),
+            |mut slice| {
+                let mut completions = Vec::new();
+                for i in 0..4u64 {
+                    completions = slice
+                        .admit(
+                            SimTime::ZERO,
+                            JobSpec {
+                                id: JobId(i),
+                                solo: SimDuration::from_millis(100.0),
+                                fbr: 0.4,
+                                mem_gb: 4.0,
+                            },
+                        )
+                        .expect("admits fit");
+                }
+                while let Some(first) = completions.iter().min_by_key(|c| c.at).copied() {
+                    let (_, rest) = slice.finish(first.at, first.job).expect("valid completion");
+                    completions = rest;
+                }
+                slice
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn loaded_gpu(catalog: &Catalog) -> Gpu {
+    let mut gpu = Gpu::new(
+        GpuId(0),
+        Geometry::g4_g2_g1(),
+        SharingMode::Mps,
+        SimTime::ZERO,
+    );
+    let resnet = catalog.profile(ModelId::ResNet50);
+    gpu.slice_mut(0)
+        .admit(
+            SimTime::ZERO,
+            JobSpec {
+                id: JobId(900),
+                solo: resnet.solo_7g,
+                fbr: resnet.fbr,
+                mem_gb: resnet.mem_gb,
+            },
+        )
+        .expect("fits");
+    gpu
+}
+
+/// Algorithm 1: tag + strict η selection + BE first-fit on a loaded GPU.
+fn bench_job_distribution(c: &mut Criterion) {
+    let cat = catalog();
+    let gpu = loaded_gpu(&cat);
+    let resnet = cat.profile(ModelId::ResNet50);
+    let mobilenet = cat.profile(ModelId::MobileNet);
+    c.bench_function("algorithm1/tag_and_choose", |b| {
+        b.iter(|| {
+            let tags = tag_slices(gpu.slices(), 7.5);
+            let strict = choose_strict_slice(gpu.slices(), &tags, resnet, 0.2);
+            let be = choose_best_effort_slice(gpu.slices(), mobilenet);
+            (strict, be)
+        })
+    });
+    // The full Scheme::place path, as the engine calls it.
+    c.bench_function("algorithm1/protean_place", |b| {
+        let mut scheme = Protean::new(ProteanConfig::paper(), 2.0);
+        let ctx = PlacementCtx {
+            now: SimTime::ZERO,
+            gpu: &gpu,
+            queued_be_mem_gb: 7.5,
+            catalog: &cat,
+        };
+        let view = BatchView {
+            model: ModelId::ResNet50,
+            strict: true,
+            size: 128,
+        };
+        b.iter(|| scheme.place(&ctx, &view))
+    });
+}
+
+/// Algorithm 2: one reconfigurator step (EWMA + geometry selection).
+fn bench_reconfigurator(c: &mut Criterion) {
+    let cat = catalog();
+    let mobilenet = *cat.profile(ModelId::MobileNet);
+    c.bench_function("algorithm2/step", |b| {
+        let mut r = Reconfigurator::new(ReconfiguratorConfig::default());
+        let current = Geometry::g4_g3();
+        b.iter(|| r.step(&current, 5000, 2.0, Some(&mobilenet)))
+    });
+}
+
+/// Trace generation throughput (batched Wiki arrivals, 60 s at 5000 rps).
+fn bench_trace_generation(c: &mut Criterion) {
+    let config = TraceConfig {
+        shape: TraceShape::wiki(5000.0),
+        duration: SimDuration::from_secs(60.0),
+        strict_model: ModelId::ResNet50,
+        strict_fraction: 0.5,
+        be_pool: vec![ModelId::MobileNet, ModelId::ShuffleNetV2],
+        be_rotation_period: SimDuration::from_secs(20.0),
+        batch_arrivals: true,
+    };
+    c.bench_function("trace/wiki_60s_5000rps", |b| {
+        let factory = RngFactory::new(1);
+        b.iter(|| config.generate(&factory))
+    });
+}
+
+/// Metric aggregation over 100k records (percentiles + compliance).
+fn bench_metrics(c: &mut Criterion) {
+    use protean_metrics::{LatencyBreakdown, MetricsSet, RequestRecord};
+    let mut m = MetricsSet::new();
+    for i in 0..100_000u64 {
+        m.push(RequestRecord {
+            model: ModelId::ResNet50,
+            strict: i % 2 == 0,
+            arrival: SimTime::from_micros(i),
+            completion: SimTime::from_micros(i + 100_000 + (i % 977) * 131),
+            breakdown: LatencyBreakdown::default(),
+        });
+    }
+    let cat = catalog();
+    c.bench_function("metrics/summary_100k", |b| {
+        b.iter(|| m.summary(&|id| cat.profile(id).slo()))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_slice_churn,
+        bench_job_distribution,
+        bench_reconfigurator,
+        bench_trace_generation,
+        bench_metrics
+);
+criterion_main!(micro);

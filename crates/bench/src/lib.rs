@@ -1,0 +1,58 @@
+//! Shared helpers for the PROTEAN benchmark suite.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `micro` — hot-path costs: MPS slice admit/finish churn, PROTEAN
+//!   placement decisions (Algorithm 1 + η), the GPU Reconfigurator
+//!   step (Algorithm 2), trace generation and metric aggregation.
+//! * `figures` — one macro benchmark per paper table/figure: each runs
+//!   the figure's core simulation at a reduced duration, so
+//!   `cargo bench` regenerates every experiment end to end and tracks
+//!   its wall-clock cost.
+//! * `ablations` — PROTEAN with individual design choices disabled
+//!   (reordering, η placement, dynamic reconfiguration), timing the
+//!   full simulation of each variant. The corresponding *quality*
+//!   ablation table is printed by
+//!   `cargo run -p protean-experiments --bin ablations`.
+
+use protean_cluster::ClusterConfig;
+use protean_experiments::PaperSetup;
+use protean_models::ModelId;
+use protean_trace::TraceConfig;
+
+/// The reduced-scale setup used by the macro benches: 20 simulated
+/// seconds keeps a full `cargo bench` run in minutes while still
+/// pushing ~100k requests per iteration through the cluster.
+pub fn bench_setup() -> PaperSetup {
+    PaperSetup {
+        duration_secs: 20.0,
+        seed: 42,
+    }
+}
+
+/// The bench cluster: the paper's 8 workers with a short measurement
+/// warmup so the 20 s window is mostly measured.
+pub fn bench_cluster() -> ClusterConfig {
+    let mut config = bench_setup().cluster();
+    config.warmup = protean_sim::SimDuration::from_secs(5.0);
+    config
+}
+
+/// The standard bench workload (ResNet 50 on the Wiki trace).
+pub fn bench_trace() -> TraceConfig {
+    bench_setup().wiki_trace(ModelId::ResNet50)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protean::ProteanBuilder;
+    use protean_cluster::run_simulation;
+    use protean_metrics::record::Class;
+
+    #[test]
+    fn bench_workload_is_nontrivial() {
+        let result = run_simulation(&bench_cluster(), &ProteanBuilder::paper(), &bench_trace());
+        assert!(result.metrics.count(Class::All) > 10_000);
+    }
+}

@@ -1,0 +1,531 @@
+//! The CLI subcommands.
+
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_cluster::{run_simulation_on, ClusterConfig, SchemeBuilder};
+use protean_experiments::report::{scheme_table, table};
+use protean_experiments::run_scheme;
+use protean_gpu::{find_placement, Geometry};
+use protean_metrics::record::Class;
+use protean_models::{catalog, ModelId};
+use protean_sim::SimDuration;
+use protean_spot::{ProcurementPolicy, SpotAvailability};
+use protean_trace::{Trace, TraceConfig, TraceShape};
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+protean-cli — PROTEAN GPU-serverless simulator
+
+USAGE:
+  protean-cli simulate  [flags]  run one scheme and print its report
+  protean-cli compare   [flags]  run all primary schemes side by side
+  protean-cli replay    [flags]  replay a CSV trace file (--trace-file)
+  protean-cli gen-trace [flags]  write a generated trace to --out
+  protean-cli catalog            list the 22 workload models
+  protean-cli geometries         list valid MIG geometries + placements
+  protean-cli help               this text
+
+FLAGS (simulate / compare):
+  --model <name>          workload model, e.g. resnet50, vgg19, gpt2
+                          (see `catalog`; default resnet50)
+  --scheme <name>         simulate only: protean | oracle | molecule |
+                          infless | naive | migonly | mpsmig | smart |
+                          gpulet (default protean)
+  --trace <kind>          wiki | twitter | constant (default wiki)
+  --rps <f64>             arrival rate; default 5000 vision / 128 language
+  --duration <secs>       trace length (default 60)
+  --strict-frac <f64>     strict share of requests (default 0.5)
+  --workers <n>           cluster size (default 8)
+  --seed <u64>            root seed (default 42)
+  --slo-mult <f64>        SLO = mult x 7g latency (default 3)
+  --procurement <p>       ondemand | spot | hybrid (default ondemand)
+  --availability <a>      high | medium | low (default high)
+  --per-model <bool>      simulate only: also print a per-model table
+
+FLAGS (replay):
+  --trace-file <path>     CSV produced by gen-trace (arrival_us,model,strict)
+  --scheme / --workers / --seed / --slo-mult as above
+
+FLAGS (gen-trace):
+  --out <path>            output CSV path
+  --model / --trace / --rps / --duration / --strict-frac / --seed as above
+";
+
+/// Flags shared by `simulate` and `compare`.
+const RUN_FLAGS: [&str; 10] = [
+    "model",
+    "scheme",
+    "trace",
+    "rps",
+    "duration",
+    "strict-frac",
+    "workers",
+    "seed",
+    "slo-mult",
+    "procurement",
+];
+const RUN_FLAGS_EXT: [&str; 12] = [
+    "model",
+    "scheme",
+    "trace",
+    "rps",
+    "duration",
+    "strict-frac",
+    "workers",
+    "seed",
+    "slo-mult",
+    "procurement",
+    "availability",
+    "per-model",
+];
+
+/// Resolves a model name like `resnet50` or `ResNet 50`.
+pub fn parse_model(name: &str) -> Result<ModelId, ArgError> {
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
+    let wanted = norm(name);
+    ModelId::ALL
+        .into_iter()
+        .find(|m| norm(m.name()) == wanted)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown model '{name}' (run `protean-cli catalog` for the list)"
+            ))
+        })
+}
+
+/// Resolves a scheme name.
+pub fn parse_scheme(name: &str) -> Result<Box<dyn SchemeBuilder>, ArgError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "protean" => Box::new(ProteanBuilder::paper()),
+        "oracle" => Box::new(ProteanBuilder::oracle()),
+        "molecule" => Box::new(Baseline::MoleculeBeta),
+        "infless" | "llama" => Box::new(Baseline::InflessLlama),
+        "naive" => Box::new(Baseline::NaiveSlicing),
+        "migonly" => Box::new(Baseline::MigOnly),
+        "mpsmig" => Box::new(Baseline::MpsMigEven),
+        "smart" => Box::new(Baseline::SmartMpsMig),
+        "gpulet" => Box::new(Baseline::Gpulet),
+        other => {
+            return Err(ArgError(format!(
+                "unknown scheme '{other}' (protean | oracle | molecule | infless | naive | migonly | mpsmig | smart | gpulet)"
+            )))
+        }
+    })
+}
+
+fn parse_procurement(name: &str) -> Result<ProcurementPolicy, ArgError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "ondemand" | "on-demand" => ProcurementPolicy::OnDemandOnly,
+        "spot" => ProcurementPolicy::SpotOnly,
+        "hybrid" => ProcurementPolicy::Hybrid,
+        other => {
+            return Err(ArgError(format!(
+                "unknown procurement '{other}' (ondemand | spot | hybrid)"
+            )))
+        }
+    })
+}
+
+fn parse_availability(name: &str) -> Result<SpotAvailability, ArgError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "high" => SpotAvailability::High,
+        "medium" | "moderate" => SpotAvailability::Moderate,
+        "low" => SpotAvailability::Low,
+        other => {
+            return Err(ArgError(format!(
+                "unknown availability '{other}' (high | medium | low)"
+            )))
+        }
+    })
+}
+
+fn build_run(args: &Args) -> Result<(ClusterConfig, TraceConfig), ArgError> {
+    let model = parse_model(args.get("model").unwrap_or("resnet50"))?;
+    let cat = catalog();
+    let default_rps = match cat.profile(model).domain {
+        protean_models::Domain::Vision => 5000.0,
+        protean_models::Domain::Language => 128.0,
+    };
+    let rps: f64 = args.get_or("rps", default_rps)?;
+    if rps <= 0.0 {
+        return Err(ArgError("--rps must be positive".into()));
+    }
+    let duration: f64 = args.get_or("duration", 60.0)?;
+    if duration <= 0.0 {
+        return Err(ArgError("--duration must be positive".into()));
+    }
+    let strict_fraction: f64 = args.get_or("strict-frac", 0.5)?;
+    if !(0.0..=1.0).contains(&strict_fraction) {
+        return Err(ArgError("--strict-frac must be in [0, 1]".into()));
+    }
+    let shape = match args.get("trace").unwrap_or("wiki") {
+        "wiki" => TraceShape::wiki(rps),
+        "twitter" => TraceShape::twitter(rps),
+        "constant" => TraceShape::constant(rps),
+        other => {
+            return Err(ArgError(format!(
+                "unknown trace '{other}' (wiki | twitter | constant)"
+            )))
+        }
+    };
+    let mut be_pool = cat.opposite_pool(model);
+    if be_pool.is_empty() {
+        be_pool.push(model);
+    }
+    let trace = TraceConfig {
+        shape,
+        duration: SimDuration::from_secs(duration),
+        strict_model: model,
+        strict_fraction,
+        be_pool,
+        be_rotation_period: SimDuration::from_secs(20.0),
+        batch_arrivals: true,
+    };
+    let mut config = ClusterConfig::paper_default();
+    config.workers = args.get_or("workers", 8usize)?;
+    if config.workers == 0 {
+        return Err(ArgError("--workers must be at least 1".into()));
+    }
+    config.seed = args.get_or("seed", 42u64)?;
+    config.slo_multiplier = args.get_or("slo-mult", 3.0)?;
+    if config.slo_multiplier < 1.0 {
+        return Err(ArgError("--slo-mult must be >= 1".into()));
+    }
+    config.procurement = parse_procurement(args.get("procurement").unwrap_or("ondemand"))?;
+    config.availability = parse_availability(args.get("availability").unwrap_or("high"))?;
+    Ok((config, trace))
+}
+
+/// `simulate`: one scheme, full report.
+pub fn simulate(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&RUN_FLAGS_EXT)?;
+    let (config, trace) = build_run(args)?;
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("protean"))?;
+    let row = run_scheme(&config, scheme.as_ref(), &trace);
+    scheme_table(std::slice::from_ref(&row));
+    println!();
+    println!(
+        "  cost ${:.2} ({} evictions) · GPU util {:.1}% · mem util {:.1}% · {} reconfigs · {} cold starts",
+        row.cost_usd,
+        row.evictions,
+        row.gpu_util_pct,
+        row.mem_util_pct,
+        row.reconfigs,
+        row.result.cold_starts,
+    );
+    if args.get_or("per-model", false)? {
+        let cat = catalog();
+        let mult = config.slo_multiplier;
+        let slo = move |m: ModelId| cat.profile(m).slo_with_multiplier(mult);
+        let rows: Vec<Vec<String>> = row
+            .result
+            .metrics
+            .per_model_summaries(&slo)
+            .into_iter()
+            .map(|(model, s)| {
+                vec![
+                    model.to_string(),
+                    s.total.to_string(),
+                    s.strict.to_string(),
+                    format!("{:.2}", s.slo_compliance * 100.0),
+                    format!("{:.1}", s.strict_p99_ms.max(s.be_p99_ms)),
+                ]
+            })
+            .collect();
+        println!();
+        table(&["model", "requests", "strict", "SLO%", "P99 ms"], &rows);
+    }
+    Ok(())
+}
+
+/// `compare`: the primary line-up side by side.
+pub fn compare(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&RUN_FLAGS[..RUN_FLAGS.len()])?;
+    if args.get("scheme").is_some() {
+        return Err(ArgError(
+            "--scheme does not apply to `compare` (it runs all primary schemes)".into(),
+        ));
+    }
+    let (config, trace) = build_run(args)?;
+    let rows: Vec<_> = protean_experiments::schemes::primary()
+        .iter()
+        .map(|s| run_scheme(&config, s.as_ref(), &trace))
+        .collect();
+    scheme_table(&rows);
+    Ok(())
+}
+
+/// `catalog`: the 22 workload models.
+pub fn catalog_cmd(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[])?;
+    let cat = catalog();
+    let rows: Vec<Vec<String>> = cat
+        .profiles()
+        .iter()
+        .map(|p| {
+            vec![
+                p.id.to_string(),
+                format!("{:?}", p.domain),
+                format!("{:?}", p.class),
+                p.batch_size.to_string(),
+                format!("{:.1}", p.mem_gb),
+                format!("{:.0}", p.solo_7g.as_millis_f64()),
+                format!("{:.2}", p.fbr),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "model", "domain", "class", "batch", "mem GB", "7g ms", "FBR",
+        ],
+        &rows,
+    );
+    Ok(())
+}
+
+/// `geometries`: every valid MIG geometry with a physical placement.
+pub fn geometries(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[])?;
+    let mut all = Geometry::enumerate_all();
+    all.sort_by_key(|g| (std::cmp::Reverse(g.total_compute_sevenths()), g.len()));
+    let rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|g| {
+            let placement = find_placement(g.slices())
+                .expect("enumerated geometries are placeable")
+                .iter()
+                .map(|(p, s)| format!("{p}@{s}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            vec![
+                g.to_string(),
+                format!("{}/7", g.total_compute_sevenths()),
+                format!("{:.0} GB", g.total_mem_gb()),
+                placement,
+            ]
+        })
+        .collect();
+    table(
+        &["geometry", "compute", "memory", "placement (slice@start)"],
+        &rows,
+    );
+    println!("\n  {} valid geometries", all.len());
+    Ok(())
+}
+
+/// `replay`: run a scheme over a CSV trace file.
+pub fn replay(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["trace-file", "scheme", "workers", "seed", "slo-mult"])?;
+    let path = args
+        .get("trace-file")
+        .ok_or_else(|| ArgError("replay requires --trace-file <path>".into()))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    let trace =
+        Trace::read_csv(std::io::BufReader::new(file)).map_err(|e| ArgError(e.to_string()))?;
+    let mut config = ClusterConfig::paper_default();
+    config.workers = args.get_or("workers", 8usize)?;
+    config.seed = args.get_or("seed", 42u64)?;
+    config.slo_multiplier = args.get_or("slo-mult", 3.0)?;
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("protean"))?;
+    println!(
+        "  replaying {} requests over {}",
+        trace.requests().len(),
+        trace.duration()
+    );
+    let result = run_simulation_on(&config, scheme.as_ref(), trace);
+    let cat = catalog();
+    let slo = protean_cluster::SimulationResult::slo_fn(&cat, config.slo_multiplier);
+    println!(
+        "  scheme {} · SLO {:.2}% · strict P99 {:.1} ms · BE P99 {:.1} ms · censored {}",
+        result.scheme,
+        result.metrics.slo_compliance(&slo) * 100.0,
+        result
+            .metrics
+            .latency_percentile_ms(Class::Strict, 0.99)
+            .unwrap_or(0.0),
+        result
+            .metrics
+            .latency_percentile_ms(Class::BestEffort, 0.99)
+            .unwrap_or(0.0),
+        result.censored,
+    );
+    Ok(())
+}
+
+/// `gen-trace`: write a generated trace to a CSV file.
+pub fn gen_trace(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[
+        "out",
+        "model",
+        "trace",
+        "rps",
+        "duration",
+        "strict-frac",
+        "seed",
+    ])?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("gen-trace requires --out <path>".into()))?;
+    let (_, trace_config) = build_run(args)?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let trace = trace_config.generate(&protean_sim::RngFactory::new(seed));
+    let file =
+        std::fs::File::create(out).map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
+    trace
+        .write_csv(std::io::BufWriter::new(file))
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    println!(
+        "  wrote {} requests ({} strict) to {out}",
+        trace.stats().total,
+        trace.stats().strict
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_resolve_loosely() {
+        assert_eq!(parse_model("resnet50").unwrap(), ModelId::ResNet50);
+        assert_eq!(parse_model("ResNet 50").unwrap(), ModelId::ResNet50);
+        assert_eq!(parse_model("GPT-2").unwrap(), ModelId::Gpt2);
+        assert_eq!(parse_model("shufflenetv2").unwrap(), ModelId::ShuffleNetV2);
+        assert!(parse_model("resnet5000").is_err());
+    }
+
+    #[test]
+    fn schemes_resolve() {
+        for s in [
+            "protean", "oracle", "molecule", "infless", "naive", "migonly", "mpsmig", "smart",
+            "gpulet",
+        ] {
+            assert!(parse_scheme(s).is_ok(), "{s}");
+        }
+        assert!(parse_scheme("unknown").is_err());
+    }
+
+    #[test]
+    fn build_run_applies_defaults_and_validates() {
+        let args = Args::parse(vec!["simulate".to_string()]).unwrap();
+        let (config, trace) = build_run(&args).unwrap();
+        assert_eq!(config.workers, 8);
+        assert_eq!(trace.strict_model, ModelId::ResNet50);
+        assert!(trace.batch_arrivals);
+
+        let bad = Args::parse(
+            "simulate --strict-frac 1.5"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(build_run(&bad).is_err());
+    }
+
+    #[test]
+    fn language_models_default_to_their_rate() {
+        let args = Args::parse(
+            "simulate --model bert"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (_, trace) = build_run(&args).unwrap();
+        match trace.shape {
+            TraceShape::WikiDiurnal { mean_rps, .. } => assert_eq!(mean_rps, 128.0),
+            _ => panic!("expected wiki"),
+        }
+    }
+
+    #[test]
+    fn catalog_and_geometries_commands_run() {
+        let none = Args::parse(Vec::new()).unwrap();
+        catalog_cmd(&none).unwrap();
+        geometries(&none).unwrap();
+        // Unknown flags are rejected.
+        let bad = Args::parse(
+            "catalog --oops 1"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(catalog_cmd(&bad).is_err());
+    }
+
+    #[test]
+    fn compare_rejects_scheme_flag_and_replay_requires_file() {
+        let a = Args::parse(
+            "compare --scheme protean"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(compare(&a).is_err());
+        let r = Args::parse(vec!["replay".to_string()]).unwrap();
+        assert!(replay(&r).is_err());
+        let missing = Args::parse(
+            "replay --trace-file /nonexistent/x.csv"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(replay(&missing).is_err());
+        let g = Args::parse(vec!["gen-trace".to_string()]).unwrap();
+        assert!(gen_trace(&g).is_err(), "gen-trace without --out must fail");
+    }
+
+    #[test]
+    fn gen_trace_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("protean_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let toks = format!(
+            "gen-trace --model mobilenet --rps 400 --duration 5 --out {}",
+            path.display()
+        );
+        let a = Args::parse(
+            toks.split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        gen_trace(&a).unwrap();
+        let toks = format!("replay --trace-file {} --workers 2", path.display());
+        let a = Args::parse(
+            toks.split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        replay(&a).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn procurement_and_availability_parse() {
+        assert_eq!(
+            parse_procurement("hybrid").unwrap(),
+            ProcurementPolicy::Hybrid
+        );
+        assert!(parse_procurement("free").is_err());
+        assert_eq!(
+            parse_availability("medium").unwrap(),
+            SpotAvailability::Moderate
+        );
+        assert!(parse_availability("none").is_err());
+    }
+}

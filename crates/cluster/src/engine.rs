@@ -1,0 +1,1547 @@
+//! The discrete-event engine driving a full cluster simulation.
+
+use std::collections::{HashMap, VecDeque};
+
+use protean_gpu::{JobId, JobSpec};
+use protean_metrics::{LatencyBreakdown, MetricsSet, RequestRecord};
+use protean_models::{Catalog, ModelId};
+use protean_sim::{EventQueue, RngFactory, SimDuration, SimTime, TimeSeries};
+use protean_spot::{
+    PricingTable, ProcurementPolicy, Provider, SpotAvailability, SpotMarket, VmId, VmLedger, VmTier,
+};
+use protean_trace::{Request, Trace, TraceConfig};
+
+use crate::batch::{Accumulator, Batch, BatchId};
+use crate::container::{Acquire, Pool};
+use crate::journal::{Journal, JournalEvent};
+use crate::scheme::{BatchView, DispatchPolicy, PlacementCtx, ReconfigCtx, SchemeBuilder};
+use crate::worker::{RunningBatch, Worker, WorkerStatus};
+
+/// Everything configurable about a simulation run. Scheduling policy is
+/// *not* here — that is the [`crate::SchemeBuilder`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker nodes (one GPU each). Paper: 8.
+    pub workers: usize,
+    /// Root seed for every random stream in the run.
+    pub seed: u64,
+    /// Monitor interval `W` driving autoscaling and reconfiguration.
+    pub monitor_interval: SimDuration,
+    /// Maximum time a partial batch waits before sealing.
+    pub batch_window: SimDuration,
+    /// Container cold-start latency (§2.1: up to tens of seconds).
+    pub cold_start: SimDuration,
+    /// Keep-alive before surplus warm containers are reclaimed (§4.2:
+    /// ~10 minutes).
+    pub keep_alive: SimDuration,
+    /// Strict SLO = `slo_multiplier ×` solo 7g latency (paper: 3×).
+    pub slo_multiplier: f64,
+    /// MIG reconfiguration latency (§4.4: ~2 s).
+    pub reconfig_delay: SimDuration,
+    /// Max fraction of GPUs allowed to reconfigure simultaneously
+    /// (§4.4: ~30%).
+    pub max_reconfig_fraction: f64,
+    /// VM procurement policy (Fig. 9 schemes).
+    pub procurement: ProcurementPolicy,
+    /// Spot-market availability regime.
+    pub availability: SpotAvailability,
+    /// Interval between revocation checks per spot VM.
+    pub revocation_check: SimDuration,
+    /// Delay from VM grant to serving traffic.
+    pub vm_startup: SimDuration,
+    /// Retry interval after a failed (spot-only) procurement.
+    pub procurement_retry: SimDuration,
+    /// Grace period after the trace ends to drain in-flight work before
+    /// censoring.
+    pub drain_grace: SimDuration,
+    /// How many queued batches each placement pass may inspect.
+    pub scan_depth: usize,
+    /// IaaS provider used for pricing.
+    pub provider: Provider,
+    /// Measurement warmup: requests arriving before this instant are
+    /// served normally but excluded from metrics, so the initial
+    /// cold-start ramp (absent from a long-running deployment) does not
+    /// skew short simulations.
+    pub warmup: SimDuration,
+    /// Warm containers pre-provisioned per (worker, model in trace) at
+    /// t=0, modelling the steady state of a long-running deployment
+    /// whose keep-alive retains containers across BE-model rotations.
+    /// Cold starts still occur when a surge needs more than this many
+    /// concurrent batches per model per worker.
+    pub prewarm_containers: usize,
+    /// Per-batch overhead of serving on a *time-shared* GPU/slice, in
+    /// milliseconds per GB of the model's working set: handing the GPU
+    /// to a different container (CUDA context activation, weights
+    /// touch) costs time proportional to the model's footprint. This is
+    /// the §2.2 cost that makes `Molecule (beta)`-style time sharing
+    /// queue-prone despite ~50% utilization (Fig. 10b).
+    pub time_share_overhead_ms_per_gb: f64,
+    /// Fixed part of the same context switch (CUDA context activation),
+    /// milliseconds, paid per time-shared batch regardless of model
+    /// size.
+    pub time_share_overhead_base_ms: f64,
+    /// Log-normal execution-time jitter (sigma of ln-space). Real batch
+    /// latencies vary run to run; jitter creates the queueing variance a
+    /// deterministic model would hide.
+    pub exec_jitter_sigma: f64,
+    /// Predictive container pre-provisioning: when `true`, each monitor
+    /// tick EWMA-forecasts the next window's batch arrivals per
+    /// (worker, model) and boots any missing containers *ahead* of
+    /// demand, taking the cold start off the critical path. An
+    /// extension beyond the paper's reactive scale-up (§4.2); off by
+    /// default.
+    pub predictive_prewarm: bool,
+    /// Journal capacity: when non-zero, the engine records up to this
+    /// many cluster events (batch lifecycle, reconfigurations, spot
+    /// events) into [`SimulationResult::journal`] for post-hoc
+    /// debugging. Zero (the default) disables recording.
+    pub journal_capacity: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's default setup: 8 workers, 2 s monitor interval, 3×
+    /// SLO, on-demand procurement.
+    pub fn paper_default() -> Self {
+        ClusterConfig {
+            workers: 8,
+            seed: 42,
+            monitor_interval: SimDuration::from_secs(2.0),
+            batch_window: SimDuration::from_millis(50.0),
+            cold_start: SimDuration::from_secs(8.0),
+            keep_alive: SimDuration::from_secs(600.0),
+            slo_multiplier: 3.0,
+            reconfig_delay: SimDuration::from_secs(2.0),
+            max_reconfig_fraction: 0.3,
+            procurement: ProcurementPolicy::OnDemandOnly,
+            availability: SpotAvailability::High,
+            revocation_check: SimDuration::from_secs(60.0),
+            vm_startup: SimDuration::from_secs(30.0),
+            procurement_retry: SimDuration::from_secs(60.0),
+            drain_grace: SimDuration::from_secs(5.0),
+            scan_depth: 32,
+            provider: Provider::Aws,
+            warmup: SimDuration::from_secs(15.0),
+            prewarm_containers: 4,
+            time_share_overhead_ms_per_gb: 8.0,
+            time_share_overhead_base_ms: 18.0,
+            exec_jitter_sigma: 0.15,
+            predictive_prewarm: false,
+            journal_capacity: 0,
+        }
+    }
+
+    /// A 2-worker configuration for fast unit tests.
+    pub fn small_test() -> Self {
+        ClusterConfig {
+            workers: 2,
+            ..ClusterConfig::paper_default()
+        }
+    }
+}
+
+/// Dollar cost of a run (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostReport {
+    /// Total, USD.
+    pub total_usd: f64,
+    /// Spot share, USD.
+    pub spot_usd: f64,
+    /// On-demand share, USD.
+    pub on_demand_usd: f64,
+    /// Evictions suffered.
+    pub evictions: u64,
+}
+
+/// A completed MIG geometry change (Fig. 7 timeline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryChange {
+    /// When the new geometry came up.
+    pub at: SimTime,
+    /// Which worker.
+    pub worker: usize,
+    /// The new geometry, printed in paper notation.
+    pub geometry: String,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Per-request records.
+    pub metrics: MetricsSet,
+    /// Dollar cost.
+    pub cost: CostReport,
+    /// Mean GPU compute utilization across workers (busy × compute
+    /// share).
+    pub compute_utilization: f64,
+    /// Mean GPU memory utilization across workers.
+    pub memory_utilization: f64,
+    /// Per-worker GPU compute utilization (consolidating schemes
+    /// concentrate load, so the busiest GPU tells a different story
+    /// than the cluster mean).
+    pub per_gpu_compute_utilization: Vec<f64>,
+    /// Per-worker GPU memory utilization.
+    pub per_gpu_memory_utilization: Vec<f64>,
+    /// Cold starts triggered.
+    pub cold_starts: u64,
+    /// Completed MIG reconfigurations.
+    pub reconfigs: u64,
+    /// Requests censored at the end of the run (still incomplete; they
+    /// are recorded with the cutoff as completion time so overload shows
+    /// up as SLO violations rather than vanishing).
+    pub censored: u64,
+    /// Geometry-change timeline.
+    pub geometry_timeline: Vec<GeometryChange>,
+    /// Per-strict-batch latency samples `(completion, latency_ms)`.
+    pub strict_latency_timeline: TimeSeries,
+    /// The recorded event journal (empty unless
+    /// [`ClusterConfig::journal_capacity`] was set).
+    pub journal: Journal,
+    /// Trace duration (excluding drain grace).
+    pub duration: SimDuration,
+    /// Worker count.
+    pub workers: usize,
+}
+
+impl SimulationResult {
+    /// The per-model SLO deadline function for this run's multiplier.
+    pub fn slo_fn(catalog: &Catalog, multiplier: f64) -> impl Fn(ModelId) -> SimDuration + '_ {
+        move |m| catalog.profile(m).slo_with_multiplier(multiplier)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    WindowExpire {
+        model: ModelId,
+        strict: bool,
+        seq: u64,
+    },
+    BootDone {
+        worker: usize,
+        model: ModelId,
+    },
+    JobFinish {
+        worker: usize,
+        slice: usize,
+        job: JobId,
+        generation: u64,
+        epoch: u64,
+    },
+    MonitorTick,
+    ReconfigDone {
+        worker: usize,
+        epoch: u64,
+    },
+    RevocationCheck {
+        worker: usize,
+    },
+    EvictionFinal {
+        worker: usize,
+    },
+    VmReady {
+        worker: usize,
+        tier: VmTier,
+    },
+    ProcurementRetry {
+        worker: usize,
+    },
+}
+
+/// Runs one full simulation: generates the trace from `trace_config`
+/// (seeded by `config.seed`), drives it through the cluster under
+/// `scheme`, and returns metrics, cost and timelines.
+pub fn run_simulation(
+    config: &ClusterConfig,
+    scheme: &dyn SchemeBuilder,
+    trace_config: &TraceConfig,
+) -> SimulationResult {
+    let factory = RngFactory::new(config.seed);
+    let trace = trace_config.generate(&factory);
+    run_simulation_on(config, scheme, trace)
+}
+
+/// Runs a simulation over an already-materialised [`Trace`] — e.g. one
+/// imported from a CSV file (`protean_trace::io`) or produced by an
+/// external tool. Everything except the arrivals is still seeded by
+/// `config.seed`.
+pub fn run_simulation_on(
+    config: &ClusterConfig,
+    scheme: &dyn SchemeBuilder,
+    trace: Trace,
+) -> SimulationResult {
+    let factory = RngFactory::new(config.seed);
+    let catalog = Catalog::new();
+    let mut engine = Engine::new(config, scheme, &catalog, &factory);
+    let duration = trace.duration();
+    engine.run(trace.into_requests(), duration);
+    engine.into_result(scheme.name().to_string())
+}
+
+struct Engine<'a> {
+    config: &'a ClusterConfig,
+    catalog: &'a Catalog,
+    workers: Vec<Worker>,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    market: SpotMarket,
+    ledger: VmLedger,
+    accumulators: HashMap<(ModelId, bool), Accumulator>,
+    backlog: VecDeque<Batch>,
+    metrics: MetricsSet,
+    strict_latency_timeline: TimeSeries,
+    geometry_timeline: Vec<GeometryChange>,
+    next_batch_id: u64,
+    journal: Journal,
+    jitter_rng: protean_sim::SimRng,
+    dispatch_policy: DispatchPolicy,
+    reconfigs: u64,
+    evictions: u64,
+    censored: u64,
+    cutoff: SimTime,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        config: &'a ClusterConfig,
+        scheme: &dyn SchemeBuilder,
+        catalog: &'a Catalog,
+        factory: &RngFactory,
+    ) -> Self {
+        assert!(config.workers > 0, "cluster needs at least one worker");
+        let market = SpotMarket::new(config.availability, factory.stream("spot.market"));
+        let ledger = VmLedger::new(PricingTable::paper_table3(), config.provider);
+        let workers = (0..config.workers)
+            .map(|i| Worker::new(i, scheme.build(i), SimTime::ZERO))
+            .collect();
+        let mut engine = Engine {
+            config,
+            catalog,
+            workers,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            market,
+            ledger,
+            accumulators: HashMap::new(),
+            backlog: VecDeque::new(),
+            metrics: MetricsSet::new(),
+            strict_latency_timeline: TimeSeries::new(),
+            geometry_timeline: Vec::new(),
+            next_batch_id: 0,
+            journal: Journal::new(config.journal_capacity),
+            jitter_rng: factory.stream("engine.exec_jitter"),
+            dispatch_policy: scheme.dispatch_policy(),
+            reconfigs: 0,
+            evictions: 0,
+            censored: 0,
+            cutoff: SimTime::MAX,
+        };
+        engine.provision_initial_vms();
+        engine
+    }
+
+    fn provision_initial_vms(&mut self) {
+        for idx in 0..self.workers.len() {
+            let policy = self.config.procurement;
+            let tier = match policy {
+                ProcurementPolicy::OnDemandOnly => Some(VmTier::OnDemand),
+                _ => policy.replacement_tier(self.market.try_acquire_spot()),
+            };
+            match tier {
+                Some(tier) => {
+                    let id = self.ledger.allocate_id();
+                    self.ledger.open(id, tier, SimTime::ZERO);
+                    let w = &mut self.workers[idx];
+                    w.vm = Some((id, tier));
+                    w.status = WorkerStatus::Up;
+                    w.gpu.set_reconfig_delay(self.config.reconfig_delay);
+                    if tier == VmTier::Spot {
+                        self.queue.push(
+                            SimTime::ZERO + self.config.revocation_check,
+                            Event::RevocationCheck { worker: idx },
+                        );
+                    }
+                }
+                None => {
+                    // Spot-only under scarcity: the slot starts empty.
+                    self.workers[idx].status = WorkerStatus::Down;
+                    self.queue.push(
+                        SimTime::ZERO + self.config.procurement_retry,
+                        Event::ProcurementRetry { worker: idx },
+                    );
+                }
+            }
+        }
+        self.queue.push(
+            SimTime::ZERO + self.config.monitor_interval,
+            Event::MonitorTick,
+        );
+    }
+
+    fn run(&mut self, requests: Vec<Request>, duration: SimDuration) {
+        self.cutoff = SimTime::ZERO + duration + self.config.drain_grace;
+        self.prewarm_pools(&requests);
+        let mut arrivals = requests.into_iter().peekable();
+        loop {
+            let next_arrival = arrivals.peek().map(|r| r.arrival);
+            let next_event = self.queue.peek_time();
+            match (next_arrival, next_event) {
+                (Some(ta), Some(te)) if ta <= te => {
+                    if ta > self.cutoff {
+                        break;
+                    }
+                    self.now = ta;
+                    let r = arrivals.next().expect("peeked");
+                    self.dispatch(r);
+                }
+                (Some(ta), None) => {
+                    if ta > self.cutoff {
+                        break;
+                    }
+                    self.now = ta;
+                    let r = arrivals.next().expect("peeked");
+                    self.dispatch(r);
+                }
+                (_, Some(te)) => {
+                    if te > self.cutoff {
+                        break;
+                    }
+                    self.now = te;
+                    let (_, ev) = self.queue.pop().expect("peeked");
+                    self.handle(ev);
+                }
+                (None, None) => break,
+            }
+        }
+        self.now = self.cutoff;
+        self.censor_remaining();
+    }
+
+    // ---- request path -------------------------------------------------
+
+    /// Gateway: requests accumulate into per-(model, strictness)
+    /// batches *before* dispatch (Fig. 4 order: reorder/batch, then
+    /// serve), so batches fill at the cluster-wide arrival rate.
+    fn dispatch(&mut self, request: Request) {
+        let batch_size = self.catalog.profile(request.model).batch_size;
+        let key = (request.model, request.strict);
+        let acc = self.accumulators.entry(key).or_default();
+        let first = acc.push(request);
+        if acc.len() as u32 >= batch_size {
+            self.seal_batch(key);
+        } else if first {
+            let seq = self.accumulators[&key].seal_seq;
+            self.queue.push(
+                self.now + self.config.batch_window,
+                Event::WindowExpire {
+                    model: key.0,
+                    strict: key.1,
+                    seq,
+                },
+            );
+        }
+    }
+
+    fn seal_batch(&mut self, key: (ModelId, bool)) {
+        let requests = match self.accumulators.get_mut(&key) {
+            Some(acc) if !acc.is_empty() => acc.seal(),
+            _ => return,
+        };
+        let id = BatchId(self.next_batch_id);
+        self.next_batch_id += 1;
+        let batch = Batch {
+            id,
+            model: key.0,
+            strict: key.1,
+            requests,
+            sealed_at: self.now,
+            cold_wait_ms: 0.0,
+        };
+        self.journal.record(
+            self.now,
+            JournalEvent::BatchSealed {
+                batch: batch.id,
+                model: batch.model,
+                strict: batch.strict,
+                size: batch.size(),
+            },
+        );
+        self.dispatch_batch(batch);
+    }
+
+    /// Pre-provisions warm containers for every model appearing in the
+    /// trace (steady state of a long-running deployment).
+    fn prewarm_pools(&mut self, requests: &[Request]) {
+        if self.config.prewarm_containers == 0 {
+            return;
+        }
+        let mut models: Vec<ModelId> = Vec::new();
+        for r in requests {
+            if !models.contains(&r.model) {
+                models.push(r.model);
+            }
+        }
+        let now = self.now;
+        let count = self.config.prewarm_containers;
+        for w in &mut self.workers {
+            for &m in &models {
+                w.pools
+                    .entry(m)
+                    .or_insert_with(Pool::new)
+                    .prewarm(now, count);
+            }
+        }
+    }
+
+    /// Dispatcher: routes a sealed batch per the scheme's policy —
+    /// least-loaded live worker, or (INFless/Llama-style) consolidated
+    /// onto the fewest GPUs with memory headroom.
+    fn dispatch_batch(&mut self, batch: Batch) {
+        let consolidated = match self.dispatch_policy {
+            DispatchPolicy::Consolidate { cap_batches } => {
+                let cap = cap_batches * u64::from(self.catalog.profile(batch.model).batch_size);
+                self.workers
+                    .iter()
+                    .find(|w| w.routable() && w.gpu.accepting() && w.outstanding < cap)
+                    .map(|w| w.idx)
+            }
+            DispatchPolicy::LoadBalance => None,
+        };
+        // Prefer workers whose GPU is accepting jobs; a GPU draining for
+        // reconfiguration gets no new traffic (§4.4 keeps downtime
+        // local). Fall back to any live worker if every GPU is mid-change.
+        let target = consolidated
+            .or_else(|| {
+                self.workers
+                    .iter()
+                    .filter(|w| w.routable() && w.gpu.accepting())
+                    .min_by_key(|w| (w.outstanding, w.idx))
+                    .map(|w| w.idx)
+            })
+            .or_else(|| {
+                self.workers
+                    .iter()
+                    .filter(|w| w.routable())
+                    .min_by_key(|w| (w.outstanding, w.idx))
+                    .map(|w| w.idx)
+            });
+        match target {
+            Some(idx) => {
+                let w = &mut self.workers[idx];
+                let n = batch.requests.len() as u64;
+                w.outstanding += n;
+                if batch.strict {
+                    w.window_strict += n;
+                } else {
+                    w.window_be += n;
+                    w.last_be_model = Some(batch.model);
+                }
+                self.journal.record(
+                    self.now,
+                    JournalEvent::BatchDispatched {
+                        batch: batch.id,
+                        worker: idx,
+                    },
+                );
+                self.acquire_container(idx, batch);
+            }
+            None => self.backlog.push_back(batch),
+        }
+    }
+
+    fn acquire_container(&mut self, idx: usize, batch: Batch) {
+        let model = batch.model;
+        let now = self.now;
+        let w = &mut self.workers[idx];
+        let pool = w.pools.entry(model).or_default();
+        match pool.acquire(now) {
+            Acquire::Warm => {
+                let mem = self.catalog.profile(model).mem_gb;
+                w.sched_queue.push(batch, mem);
+                self.try_place(idx);
+            }
+            Acquire::ColdStarted => {
+                w.wait_container.entry(model).or_default().push_back(batch);
+                self.journal
+                    .record(now, JournalEvent::ColdStart { worker: idx, model });
+                self.queue.push(
+                    now + self.config.cold_start,
+                    Event::BootDone { worker: idx, model },
+                );
+            }
+        }
+    }
+
+    fn try_place(&mut self, idx: usize) {
+        loop {
+            if !self.workers[idx].gpu.accepting() {
+                return;
+            }
+            let views: Vec<(BatchId, BatchView)> = self.workers[idx]
+                .sched_queue
+                .candidates(self.config.scan_depth)
+                .iter()
+                .map(|b| {
+                    (
+                        b.id,
+                        BatchView {
+                            model: b.model,
+                            strict: b.strict,
+                            size: b.size(),
+                        },
+                    )
+                })
+                .collect();
+            if views.is_empty() {
+                return;
+            }
+            let mut placed_any = false;
+            for (batch_id, view) in views {
+                let w = &mut self.workers[idx];
+                let placement = {
+                    let ctx = PlacementCtx {
+                        now: self.now,
+                        gpu: &w.gpu,
+                        queued_be_mem_gb: w.sched_queue.be_mem_gb(),
+                        catalog: self.catalog,
+                    };
+                    w.scheme.place(&ctx, &view)
+                };
+                let Some(p) = placement else { continue };
+                if p.slice >= w.gpu.slices().len() {
+                    continue;
+                }
+                let profile = self.catalog.profile(view.model);
+                let slice_profile = w.gpu.slice(p.slice).profile();
+                // Inference batch latency is affine in batch size (see
+                // ModelProfile::fill_factor), so partial (window-sealed)
+                // batches run proportionally faster.
+                let fill = f64::from(view.size) / f64::from(profile.batch_size);
+                let fill_factor = profile.fill_factor(fill);
+                let jitter = if self.config.exec_jitter_sigma > 0.0 {
+                    (self.jitter_rng.standard_normal() * self.config.exec_jitter_sigma)
+                        .exp()
+                        .clamp(0.6, 1.7)
+                } else {
+                    1.0
+                };
+                let mut solo = profile
+                    .solo_on(slice_profile)
+                    .mul_f64(p.solo_scale.max(0.0) * fill_factor * jitter);
+                if w.gpu.slice(p.slice).mode() == protean_gpu::SharingMode::TimeShared {
+                    // Context switch between containers on a time-shared
+                    // GPU (weights/context re-activation), scaling with
+                    // the model's working set.
+                    solo += SimDuration::from_millis(
+                        self.config.time_share_overhead_base_ms
+                            + self.config.time_share_overhead_ms_per_gb * profile.mem_gb,
+                    );
+                }
+                let spec = JobSpec {
+                    id: JobId(batch_id.0),
+                    solo,
+                    fbr: profile.fbr * p.fbr_scale.max(0.0),
+                    mem_gb: profile.mem_gb,
+                };
+                let admitted = w.gpu.slice_mut(p.slice).admit(self.now, spec);
+                match admitted {
+                    Ok(completions) => {
+                        let batch = w
+                            .sched_queue
+                            .remove(batch_id, profile.mem_gb)
+                            .expect("placed batch was queued");
+                        w.running.insert(
+                            batch_id,
+                            RunningBatch {
+                                batch,
+                                slice: p.slice,
+                                exec_start: self.now,
+                                solo_on_slice_ms: solo.as_millis_f64(),
+                                solo_7g_ms: profile.solo_7g.as_millis_f64() * fill_factor * jitter,
+                            },
+                        );
+                        let epoch = w.epoch;
+                        for c in completions {
+                            self.queue.push(
+                                c.at,
+                                Event::JobFinish {
+                                    worker: idx,
+                                    slice: p.slice,
+                                    job: c.job,
+                                    generation: c.generation,
+                                    epoch,
+                                },
+                            );
+                        }
+                        self.journal.record(
+                            self.now,
+                            JournalEvent::BatchPlaced {
+                                batch: batch_id,
+                                worker: idx,
+                                slice: p.slice,
+                            },
+                        );
+                        placed_any = true;
+                    }
+                    Err(_) => {
+                        // No room right now; the batch stays queued.
+                    }
+                }
+            }
+            if !placed_any {
+                return;
+            }
+        }
+    }
+
+    // ---- event handlers ------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::WindowExpire { model, strict, seq } => {
+                let stale = self
+                    .accumulators
+                    .get(&(model, strict))
+                    .is_none_or(|acc| acc.seal_seq != seq || acc.is_empty());
+                if !stale {
+                    self.seal_batch((model, strict));
+                }
+            }
+            Event::BootDone { worker, model } => self.on_boot_done(worker, model),
+            Event::JobFinish {
+                worker,
+                slice,
+                job,
+                generation,
+                epoch,
+            } => self.on_job_finish(worker, slice, job, generation, epoch),
+            Event::MonitorTick => self.on_monitor_tick(),
+            Event::ReconfigDone { worker, epoch } => self.on_reconfig_done(worker, epoch),
+            Event::RevocationCheck { worker } => self.on_revocation_check(worker),
+            Event::EvictionFinal { worker } => self.on_eviction_final(worker),
+            Event::VmReady { worker, tier } => self.on_vm_ready(worker, tier),
+            Event::ProcurementRetry { worker } => self.on_procurement_retry(worker),
+        }
+    }
+
+    fn on_boot_done(&mut self, idx: usize, model: ModelId) {
+        let now = self.now;
+        let w = &mut self.workers[idx];
+        let waiting = w.wait_container.get_mut(&model).and_then(|q| q.pop_front());
+        let pool = w.pools.entry(model).or_default();
+        match waiting {
+            Some(mut batch) => {
+                pool.boot_done(now, true);
+                batch.cold_wait_ms = now.saturating_since(batch.sealed_at).as_millis_f64();
+                let mem = self.catalog.profile(model).mem_gb;
+                w.sched_queue.push(batch, mem);
+                self.try_place(idx);
+            }
+            None => pool.boot_done(now, false),
+        }
+    }
+
+    fn on_job_finish(&mut self, idx: usize, slice: usize, job: JobId, generation: u64, epoch: u64) {
+        let w = &mut self.workers[idx];
+        if w.epoch != epoch
+            || slice >= w.gpu.slices().len()
+            || w.gpu.slice(slice).generation() != generation
+        {
+            return; // stale completion
+        }
+        let now = self.now;
+        let (finished, reschedules) = match w.gpu.slice_mut(slice).finish(now, job) {
+            Ok(ok) => ok,
+            Err(_) => return, // stale in a way the generation missed
+        };
+        let batch_id = BatchId(finished.spec.id.0);
+        let Some(running) = w.running.remove(&batch_id) else {
+            return;
+        };
+        // Re-projected completions for the jobs still on the slice.
+        let new_epoch = w.epoch;
+        for c in reschedules {
+            self.queue.push(
+                c.at,
+                Event::JobFinish {
+                    worker: idx,
+                    slice,
+                    job: c.job,
+                    generation: c.generation,
+                    epoch: new_epoch,
+                },
+            );
+        }
+        self.journal.record(
+            now,
+            JournalEvent::BatchFinished {
+                batch: batch_id,
+                worker: idx,
+            },
+        );
+        self.record_batch_completion(idx, &running, now);
+        // The container frees: reuse for a batch waiting on a container,
+        // otherwise park warm.
+        let model = running.batch.model;
+        let w = &mut self.workers[idx];
+        let next = w.wait_container.get_mut(&model).and_then(|q| q.pop_front());
+        let pool = w.pools.entry(model).or_default();
+        match next {
+            Some(batch) => {
+                pool.release(now, true);
+                let mem = self.catalog.profile(model).mem_gb;
+                w.sched_queue.push(batch, mem);
+            }
+            None => pool.release(now, false),
+        }
+        self.maybe_begin_reconfigure(idx);
+        self.try_place(idx);
+    }
+
+    fn record_batch_completion(&mut self, idx: usize, running: &RunningBatch, now: SimTime) {
+        let exec_ms = now.saturating_since(running.exec_start).as_millis_f64();
+        let interference_ms = (exec_ms - running.solo_on_slice_ms).max(0.0);
+        let deficiency_ms = (running.solo_on_slice_ms - running.solo_7g_ms).max(0.0);
+        let cold_ms = running.batch.cold_wait_ms;
+        let measure_from = SimTime::ZERO + self.config.warmup;
+        let w = &mut self.workers[idx];
+        for req in &running.batch.requests {
+            if req.arrival < measure_from {
+                w.outstanding = w.outstanding.saturating_sub(1);
+                continue;
+            }
+            let total_ms = now.saturating_since(req.arrival).as_millis_f64();
+            let queueing_ms =
+                (total_ms - cold_ms - interference_ms - deficiency_ms - running.solo_7g_ms)
+                    .max(0.0);
+            self.metrics.push(RequestRecord {
+                model: running.batch.model,
+                strict: running.batch.strict,
+                arrival: req.arrival,
+                completion: now,
+                breakdown: LatencyBreakdown {
+                    min_exec_ms: running.solo_7g_ms,
+                    deficiency_ms,
+                    interference_ms,
+                    queueing_ms,
+                    cold_start_ms: cold_ms,
+                },
+            });
+            w.outstanding = w.outstanding.saturating_sub(1);
+        }
+        if running.batch.strict {
+            let mean_lat_ms = running
+                .batch
+                .requests
+                .iter()
+                .map(|r| now.saturating_since(r.arrival).as_millis_f64())
+                .sum::<f64>()
+                / running.batch.requests.len().max(1) as f64;
+            self.strict_latency_timeline.push(now, mean_lat_ms);
+        }
+    }
+
+    fn on_monitor_tick(&mut self) {
+        let now = self.now;
+        for idx in 0..self.workers.len() {
+            // Delayed termination of surplus warm containers.
+            let keep_alive = self.config.keep_alive;
+            for pool in self.workers[idx].pools.values_mut() {
+                pool.expire_idle(now, keep_alive);
+            }
+            self.predictive_prewarm_tick(idx);
+            if !matches!(self.workers[idx].status, WorkerStatus::Up) {
+                continue;
+            }
+            // Scheme reconfiguration hook.
+            let desired = {
+                let w = &mut self.workers[idx];
+                let ctx = ReconfigCtx {
+                    now,
+                    gpu: &w.gpu,
+                    window_be_requests: w.window_be,
+                    window_strict_requests: w.window_strict,
+                    be_model: w.last_be_model,
+                    catalog: self.catalog,
+                };
+                let desired = w.scheme.reconfigure(&ctx);
+                w.window_be = 0;
+                w.window_strict = 0;
+                desired
+            };
+            if let Some(geometry) = desired {
+                if geometry != *self.workers[idx].gpu.geometry() && self.reconfig_slots_free() {
+                    let _ = self.workers[idx].gpu.request_reconfigure(geometry);
+                    self.maybe_begin_reconfigure(idx);
+                }
+            }
+        }
+        // Safety: drain the gateway backlog if any worker is routable.
+        self.drain_backlog();
+        if now + self.config.monitor_interval <= self.cutoff {
+            self.queue
+                .push(now + self.config.monitor_interval, Event::MonitorTick);
+        }
+    }
+
+    /// Extension: EWMA-forecast next-window batch arrivals per model and
+    /// boot missing containers ahead of demand.
+    fn predictive_prewarm_tick(&mut self, idx: usize) {
+        const ALPHA: f64 = 0.3;
+        let now = self.now;
+        let w = &mut self.workers[idx];
+        let observed: Vec<(ModelId, u64)> = w.window_batches.drain().collect();
+        for (model, count) in observed {
+            let v = w.predicted_batches.entry(model).or_insert(count as f64);
+            *v = ALPHA * count as f64 + (1.0 - ALPHA) * *v;
+        }
+        if !self.config.predictive_prewarm || !matches!(w.status, WorkerStatus::Up) {
+            return;
+        }
+        let predictions: Vec<(ModelId, f64)> =
+            w.predicted_batches.iter().map(|(m, v)| (*m, *v)).collect();
+        for (model, predicted) in predictions {
+            let pool = w.pools.entry(model).or_insert_with(Pool::new);
+            let desired = predicted.ceil() as u32;
+            let have = pool.total_containers();
+            for _ in have..desired {
+                pool.boot_proactive();
+                self.queue.push(
+                    now + self.config.cold_start,
+                    Event::BootDone { worker: idx, model },
+                );
+            }
+        }
+    }
+
+    fn reconfig_slots_free(&self) -> bool {
+        let busy = self
+            .workers
+            .iter()
+            .filter(|w| !w.gpu.accepting() && matches!(w.status, WorkerStatus::Up))
+            .count();
+        let cap = ((self.config.max_reconfig_fraction * self.workers.len() as f64).ceil() as usize)
+            .max(1);
+        busy < cap
+    }
+
+    fn maybe_begin_reconfigure(&mut self, idx: usize) {
+        let w = &mut self.workers[idx];
+        if matches!(w.gpu.state(), protean_gpu::GpuState::Draining { .. }) && w.gpu.is_idle() {
+            if let Ok(until) = w.gpu.try_begin_reconfigure(self.now) {
+                let epoch = w.epoch;
+                self.queue
+                    .push(until, Event::ReconfigDone { worker: idx, epoch });
+            }
+        }
+    }
+
+    fn on_reconfig_done(&mut self, idx: usize, epoch: u64) {
+        let w = &mut self.workers[idx];
+        if w.epoch != epoch {
+            return; // VM replaced while reconfiguring
+        }
+        if w.gpu.complete_reconfigure(self.now).is_ok() {
+            w.epoch += 1;
+            self.reconfigs += 1;
+            let geometry = w.gpu.geometry().to_string();
+            self.journal.record(
+                self.now,
+                JournalEvent::Reconfigured {
+                    worker: idx,
+                    geometry: geometry.clone(),
+                },
+            );
+            self.geometry_timeline.push(GeometryChange {
+                at: self.now,
+                worker: idx,
+                geometry,
+            });
+            self.try_place(idx);
+        }
+    }
+
+    // ---- spot market ----------------------------------------------------
+
+    fn on_revocation_check(&mut self, idx: usize) {
+        let w = &self.workers[idx];
+        if !matches!(w.status, WorkerStatus::Up) || !matches!(w.vm, Some((_, VmTier::Spot))) {
+            return;
+        }
+        if let Some(lead) = self.market.roll_revocation() {
+            let evict_at = self.now + lead;
+            self.workers[idx].status = WorkerStatus::Evicting { evict_at };
+            self.journal.record(
+                self.now,
+                JournalEvent::EvictionNotice {
+                    worker: idx,
+                    evict_at,
+                },
+            );
+            self.evictions += 1;
+            self.queue
+                .push(evict_at, Event::EvictionFinal { worker: idx });
+            // Immediately procure a replacement (§4.5).
+            self.procure_replacement(idx);
+        } else {
+            self.queue.push(
+                self.now + self.config.revocation_check,
+                Event::RevocationCheck { worker: idx },
+            );
+        }
+    }
+
+    fn procure_replacement(&mut self, idx: usize) {
+        let granted = self.market.try_acquire_spot();
+        match self.config.procurement.replacement_tier(granted) {
+            Some(tier) => {
+                self.queue.push(
+                    self.now + self.config.vm_startup,
+                    Event::VmReady { worker: idx, tier },
+                );
+            }
+            None => {
+                self.queue.push(
+                    self.now + self.config.procurement_retry,
+                    Event::ProcurementRetry { worker: idx },
+                );
+            }
+        }
+    }
+
+    fn on_eviction_final(&mut self, idx: usize) {
+        if !matches!(self.workers[idx].status, WorkerStatus::Evicting { .. }) {
+            return;
+        }
+        if let Some((vm, _)) = self.workers[idx].vm.take() {
+            self.ledger.close(vm, self.now);
+        }
+        self.journal
+            .record(self.now, JournalEvent::Evicted { worker: idx });
+        // Everything still on this worker is re-dispatched elsewhere.
+        let orphans = self.workers[idx].drain_all_batches();
+        self.workers[idx].epoch += 1;
+        match self.workers[idx].pending_vm.take() {
+            Some((vm, tier)) => self.install_vm(idx, vm, tier),
+            None => {
+                self.workers[idx].status = WorkerStatus::Down;
+            }
+        }
+        for b in orphans {
+            self.dispatch_batch(b);
+        }
+    }
+
+    fn on_vm_ready(&mut self, idx: usize, tier: VmTier) {
+        let vm = self.ledger.allocate_id();
+        self.ledger.open(vm, tier, self.now);
+        match self.workers[idx].status {
+            WorkerStatus::Evicting { .. } => {
+                // Old VM still draining: stand by until it is reclaimed.
+                self.workers[idx].pending_vm = Some((vm, tier));
+            }
+            WorkerStatus::Down => self.install_vm(idx, vm, tier),
+            WorkerStatus::Up => {
+                // Defensive: double procurement should not happen; bill
+                // nothing and release the VM immediately.
+                self.ledger.close(vm, self.now);
+            }
+        }
+    }
+
+    fn install_vm(&mut self, idx: usize, vm: VmId, tier: VmTier) {
+        // Any running work was already drained.
+        self.workers[idx].running.clear();
+        self.workers[idx].reset_runtime(self.now);
+        self.workers[idx]
+            .gpu
+            .set_reconfig_delay(self.config.reconfig_delay);
+        self.workers[idx].vm = Some((vm, tier));
+        self.workers[idx].status = WorkerStatus::Up;
+        self.journal
+            .record(self.now, JournalEvent::VmInstalled { worker: idx });
+        if tier == VmTier::Spot {
+            self.queue.push(
+                self.now + self.config.revocation_check,
+                Event::RevocationCheck { worker: idx },
+            );
+        }
+        self.drain_backlog();
+    }
+
+    fn on_procurement_retry(&mut self, idx: usize) {
+        if matches!(self.workers[idx].status, WorkerStatus::Down) {
+            self.procure_replacement(idx);
+        }
+    }
+
+    fn drain_backlog(&mut self) {
+        if self.backlog.is_empty() || !self.workers.iter().any(Worker::routable) {
+            return;
+        }
+        let pending: Vec<Batch> = self.backlog.drain(..).collect();
+        for b in pending {
+            self.dispatch_batch(b);
+        }
+    }
+
+    // ---- teardown --------------------------------------------------------
+
+    fn censor_remaining(&mut self) {
+        let now = self.now;
+        let mut leftovers: Vec<(ModelId, bool, Request)> = Vec::new();
+        for w in &mut self.workers {
+            for b in w.drain_all_batches() {
+                for r in b.requests {
+                    leftovers.push((b.model, b.strict, r));
+                }
+            }
+        }
+        for b in std::mem::take(&mut self.backlog) {
+            for r in b.requests {
+                leftovers.push((b.model, b.strict, r));
+            }
+        }
+        for acc in self.accumulators.values_mut() {
+            for r in acc.drain() {
+                leftovers.push((r.model, r.strict, r));
+            }
+        }
+        let measure_from = SimTime::ZERO + self.config.warmup;
+        for (model, strict, r) in leftovers {
+            if r.arrival < measure_from {
+                continue;
+            }
+            self.censored += 1;
+            let total_ms = now.saturating_since(r.arrival).as_millis_f64();
+            self.metrics.push(RequestRecord {
+                model,
+                strict,
+                arrival: r.arrival,
+                completion: now,
+                breakdown: LatencyBreakdown {
+                    queueing_ms: total_ms,
+                    ..LatencyBreakdown::default()
+                },
+            });
+        }
+    }
+
+    fn into_result(mut self, scheme: String) -> SimulationResult {
+        let now = self.now;
+        // Close any still-open VMs for final billing.
+        let open: Vec<VmId> = self
+            .workers
+            .iter_mut()
+            .filter_map(|w| w.vm.take().map(|(id, _)| id))
+            .collect();
+        for vm in open {
+            self.ledger.close(vm, now);
+        }
+        let cost = CostReport {
+            total_usd: self.ledger.total_cost(now),
+            spot_usd: self.ledger.cost_by_tier(VmTier::Spot, now),
+            on_demand_usd: self.ledger.cost_by_tier(VmTier::OnDemand, now),
+            evictions: self.evictions,
+        };
+        let n = self.workers.len() as f64;
+        let per_gpu_compute_utilization: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| w.gpu.compute_utilization(now))
+            .collect();
+        let per_gpu_memory_utilization: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| w.gpu.memory_utilization(now))
+            .collect();
+        let compute_utilization = per_gpu_compute_utilization.iter().sum::<f64>() / n;
+        let memory_utilization = per_gpu_memory_utilization.iter().sum::<f64>() / n;
+        let cold_starts = self.workers.iter().map(Worker::cold_starts).sum();
+        SimulationResult {
+            scheme,
+            metrics: self.metrics,
+            cost,
+            compute_utilization,
+            memory_utilization,
+            per_gpu_compute_utilization,
+            per_gpu_memory_utilization,
+            cold_starts,
+            reconfigs: self.reconfigs,
+            censored: self.censored,
+            geometry_timeline: self.geometry_timeline,
+            strict_latency_timeline: self.strict_latency_timeline,
+            journal: self.journal,
+            duration: self.cutoff.saturating_since(SimTime::ZERO) - self.config.drain_grace,
+            workers: self.workers.len(),
+        }
+    }
+}
+
+impl SchemeBuilder for &dyn SchemeBuilder {
+    fn build(&self, worker: usize) -> Box<dyn crate::scheme::Scheme> {
+        (**self).build(worker)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn dispatch_policy(&self) -> DispatchPolicy {
+        (**self).dispatch_policy()
+    }
+}
+
+/// Convenience: run a scheme by reference.
+impl dyn SchemeBuilder + '_ {
+    /// The scheme's name as an owned string.
+    pub fn name_string(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+fn _assert_object_safe(_: &dyn SchemeBuilder) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes_for_test::AlwaysLargest;
+    use protean_metrics::record::Class;
+    use protean_trace::TraceShape;
+
+    fn trace(rps: f64, secs: f64, strict_fraction: f64) -> TraceConfig {
+        TraceConfig {
+            shape: TraceShape::constant(rps),
+            duration: SimDuration::from_secs(secs),
+            strict_model: ModelId::ResNet50,
+            strict_fraction,
+            be_pool: vec![ModelId::MobileNet],
+            be_rotation_period: SimDuration::from_secs(20.0),
+            batch_arrivals: false,
+        }
+    }
+
+    #[test]
+    fn all_measured_requests_accounted_for() {
+        let config = ClusterConfig::small_test();
+        let t = trace(400.0, 30.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        // Completed + censored must equal the post-warmup trace total.
+        let factory = RngFactory::new(config.seed);
+        let measured = t
+            .generate(&factory)
+            .requests()
+            .iter()
+            .filter(|r| r.arrival >= SimTime::ZERO + config.warmup)
+            .count();
+        assert_eq!(result.metrics.count(Class::All), measured);
+        assert!(result.metrics.count(Class::All) > 1000);
+    }
+
+    #[test]
+    fn light_load_is_slo_compliant() {
+        let mut config = ClusterConfig::small_test();
+        // Short cold starts so the initial ramp clears well before the
+        // measurement window opens.
+        config.cold_start = SimDuration::from_secs(2.0);
+        let t = trace(100.0, 40.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        let catalog = Catalog::new();
+        let slo = |m: ModelId| catalog.profile(m).slo();
+        let compliance = result.metrics.slo_compliance(&slo);
+        assert!(compliance > 0.9, "compliance {compliance}");
+        assert_eq!(result.cost.evictions, 0);
+        assert!(result.cost.total_usd > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = ClusterConfig::small_test();
+        let t = trace(300.0, 5.0, 0.5);
+        let a = run_simulation(&config, &AlwaysLargest, &t);
+        let b = run_simulation(&config, &AlwaysLargest, &t);
+        assert_eq!(a.metrics.count(Class::All), b.metrics.count(Class::All));
+        let la = a.metrics.latency_percentile_ms(Class::All, 0.99);
+        let lb = b.metrics.latency_percentile_ms(Class::All, 0.99);
+        assert_eq!(la, lb);
+        assert_eq!(a.cost.total_usd, b.cost.total_usd);
+    }
+
+    #[test]
+    fn cold_starts_happen_then_warm_containers_reused() {
+        let mut config = ClusterConfig::small_test();
+        // Disable pre-warming so the cold-start ramp is observable.
+        config.prewarm_containers = 0;
+        // Long run: the initial ramp cold-starts, after which the
+        // delayed-termination keep-alive serves everything warm.
+        let t = trace(400.0, 60.0, 0.5);
+        let short = run_simulation(&config, &AlwaysLargest, &trace(400.0, 20.0, 0.5));
+        let long = run_simulation(&config, &AlwaysLargest, &t);
+        assert!(long.cold_starts > 0);
+        // Tripling the trace length adds almost no cold starts.
+        assert!(
+            long.cold_starts < short.cold_starts + short.cold_starts / 4 + 10,
+            "short {} long {}",
+            short.cold_starts,
+            long.cold_starts
+        );
+    }
+
+    #[test]
+    fn utilization_is_positive_under_load() {
+        let config = ClusterConfig::small_test();
+        let t = trace(600.0, 10.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        assert!(result.compute_utilization > 0.01);
+        assert!(result.memory_utilization > 0.001);
+    }
+
+    #[test]
+    fn spot_evictions_occur_under_low_availability() {
+        let mut config = ClusterConfig::small_test();
+        config.procurement = ProcurementPolicy::Hybrid;
+        config.availability = SpotAvailability::Low;
+        config.revocation_check = SimDuration::from_secs(10.0);
+        let t = trace(200.0, 60.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        assert!(result.cost.evictions > 0);
+        // Hybrid keeps serving: nearly everything completes.
+        let total = result.metrics.count(Class::All);
+        assert!(result.censored < total as u64 / 10);
+    }
+
+    #[test]
+    fn hybrid_is_cheaper_than_on_demand_under_high_availability() {
+        let t = trace(200.0, 30.0, 0.5);
+        let mut od = ClusterConfig::small_test();
+        od.procurement = ProcurementPolicy::OnDemandOnly;
+        let od_result = run_simulation(&od, &AlwaysLargest, &t);
+        let mut hybrid = ClusterConfig::small_test();
+        hybrid.procurement = ProcurementPolicy::Hybrid;
+        let hy_result = run_simulation(&hybrid, &AlwaysLargest, &t);
+        assert!(
+            hy_result.cost.total_usd < od_result.cost.total_usd * 0.5,
+            "hybrid {} vs od {}",
+            hy_result.cost.total_usd,
+            od_result.cost.total_usd
+        );
+    }
+
+    #[test]
+    fn evicting_workers_receive_no_new_batches() {
+        // Journal the run and check no batch is dispatched to a worker
+        // between its eviction notice and its VM replacement.
+        let mut config = ClusterConfig::small_test();
+        config.workers = 3;
+        config.journal_capacity = 500_000;
+        config.procurement = ProcurementPolicy::Hybrid;
+        config.availability = SpotAvailability::Low;
+        config.revocation_check = SimDuration::from_secs(5.0);
+        config.vm_startup = SimDuration::from_secs(5.0);
+        let t = trace(300.0, 40.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        use crate::journal::JournalEvent as E;
+        // Build per-worker "unavailable" intervals [notice, installed).
+        let mut down_since: std::collections::HashMap<usize, SimTime> = Default::default();
+        let mut violations = 0;
+        for (t, e) in result.journal.entries() {
+            match e {
+                E::EvictionNotice { worker, .. } => {
+                    down_since.insert(*worker, *t);
+                }
+                E::VmInstalled { worker } => {
+                    down_since.remove(worker);
+                }
+                E::BatchDispatched { worker, .. } => {
+                    if down_since.contains_key(worker) {
+                        violations += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(result.cost.evictions > 0, "no evictions to test against");
+        assert_eq!(violations, 0, "batches routed to evicting workers");
+    }
+
+    #[test]
+    fn predictive_prewarm_takes_cold_starts_off_the_critical_path() {
+        // No steady-state pre-warming: reactive scaling pays cold starts
+        // on the critical path; the predictive extension boots ahead.
+        let mk = |predictive: bool| {
+            let mut config = ClusterConfig::small_test();
+            config.prewarm_containers = 0;
+            config.warmup = SimDuration::from_secs(20.0);
+            config.predictive_prewarm = predictive;
+            let t = trace(400.0, 60.0, 0.5);
+            run_simulation(&config, &AlwaysLargest, &t)
+        };
+        let reactive = mk(false);
+        let predictive = mk(true);
+        let critical_cold = |r: &SimulationResult| {
+            r.metrics
+                .records()
+                .iter()
+                .filter(|rec| rec.breakdown.cold_start_ms > 0.0)
+                .count()
+        };
+        let reactive_cold = critical_cold(&reactive);
+        let predictive_cold = critical_cold(&predictive);
+        assert!(
+            predictive_cold * 2 <= reactive_cold.max(1),
+            "predictive {predictive_cold} vs reactive {reactive_cold}"
+        );
+    }
+
+    #[test]
+    fn journal_records_the_batch_lifecycle() {
+        let mut config = ClusterConfig::small_test();
+        config.journal_capacity = 200_000;
+        let t = trace(300.0, 25.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        use crate::journal::JournalEvent as E;
+        let sealed = result
+            .journal
+            .filter(|e| matches!(e, E::BatchSealed { .. }))
+            .count();
+        let dispatched = result
+            .journal
+            .filter(|e| matches!(e, E::BatchDispatched { .. }))
+            .count();
+        let placed = result
+            .journal
+            .filter(|e| matches!(e, E::BatchPlaced { .. }))
+            .count();
+        let finished = result
+            .journal
+            .filter(|e| matches!(e, E::BatchFinished { .. }))
+            .count();
+        assert!(sealed > 0);
+        // Every sealed batch is dispatched exactly once (no evictions
+        // in this run), placed, and finished (or censored at cutoff).
+        assert_eq!(sealed, dispatched);
+        assert!(placed <= dispatched);
+        assert!(finished <= placed);
+        assert!(placed >= sealed - 5, "placed {placed} vs sealed {sealed}");
+        assert_eq!(result.journal.dropped(), 0);
+        // Timestamps are monotone.
+        let mut last = SimTime::ZERO;
+        for (t, _) in result.journal.entries() {
+            assert!(*t >= last);
+            last = *t;
+        }
+    }
+
+    #[test]
+    fn journal_disabled_by_default() {
+        let config = ClusterConfig::small_test();
+        let t = trace(200.0, 10.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        assert!(result.journal.entries().is_empty());
+    }
+
+    #[test]
+    fn evicted_work_is_redispatched_not_lost() {
+        // Aggressive spot regime with a short drain window: workers are
+        // evicted mid-run, their queued/running batches must reappear
+        // elsewhere (total accounting is exact).
+        let mut config = ClusterConfig::small_test();
+        config.workers = 3;
+        config.procurement = ProcurementPolicy::Hybrid;
+        config.availability = SpotAvailability::Low;
+        config.revocation_check = SimDuration::from_secs(5.0);
+        config.vm_startup = SimDuration::from_secs(5.0);
+        config.procurement_retry = SimDuration::from_secs(5.0);
+        let t = trace(300.0, 45.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        assert!(result.cost.evictions > 0, "no evictions happened");
+        let factory = RngFactory::new(config.seed);
+        let expected = t
+            .generate(&factory)
+            .requests()
+            .iter()
+            .filter(|r| r.arrival >= SimTime::ZERO + config.warmup)
+            .count();
+        assert_eq!(result.metrics.count(Class::All), expected);
+    }
+
+    #[test]
+    fn spot_only_starts_degraded_under_low_availability() {
+        // With P_rev = 0.708 most initial spot requests are denied:
+        // fewer live workers, so on-demand-equivalent cost is far below
+        // the full-cluster cost.
+        let mut config = ClusterConfig::small_test();
+        config.workers = 8;
+        config.procurement = ProcurementPolicy::SpotOnly;
+        config.availability = SpotAvailability::Low;
+        let t = trace(300.0, 30.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        // 8 spot workers for the whole run would cost:
+        let full = 8.0 * (t.duration + config.drain_grace).as_secs_f64() / 3600.0
+            * protean_spot::PricingTable::paper_table3().worker_price(Provider::Aws, VmTier::Spot);
+        assert!(
+            result.cost.total_usd < full * 0.9,
+            "cost {} vs full {}",
+            result.cost.total_usd,
+            full
+        );
+    }
+
+    #[test]
+    fn overload_censors_but_accounts_for_everything() {
+        // One worker, absurd rate: the run must terminate at the cutoff
+        // with the backlog censored, not spin forever or drop requests.
+        let mut config = ClusterConfig::small_test();
+        config.workers = 1;
+        config.warmup = SimDuration::from_secs(2.0);
+        let t = trace(8000.0, 15.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        assert!(result.censored > 0, "expected censoring under overload");
+        let factory = RngFactory::new(config.seed);
+        let expected = t
+            .generate(&factory)
+            .requests()
+            .iter()
+            .filter(|r| r.arrival >= SimTime::ZERO + config.warmup)
+            .count();
+        assert_eq!(result.metrics.count(Class::All), expected);
+        // Censored requests carry the cutoff as completion: none exceeds
+        // the horizon.
+        let horizon = t.duration + config.drain_grace;
+        for r in result.metrics.records() {
+            assert!(r.latency() <= horizon);
+        }
+    }
+
+    #[test]
+    fn window_sealed_singletons_wait_the_batch_window() {
+        // Request-level arrivals far below the batch size: every batch
+        // seals by window expiry, so minimum latency includes the window.
+        let mut config = ClusterConfig::small_test();
+        config.warmup = SimDuration::from_secs(2.0);
+        let t = trace(10.0, 20.0, 1.0); // strict-only trickle
+        let mut t = t;
+        t.be_pool.clear();
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        // At 10 rps nearly every batch is a singleton, so the typical
+        // request waits out the full batch window before sealing.
+        let p50 = result
+            .metrics
+            .latency_percentile_ms(Class::Strict, 0.5)
+            .expect("some requests completed");
+        assert!(
+            p50 >= config.batch_window.as_millis_f64(),
+            "P50 {p50} ms below the batch window"
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_early_arrivals_only() {
+        let config = ClusterConfig::small_test();
+        let t = trace(200.0, 30.0, 0.5);
+        let result = run_simulation(&config, &AlwaysLargest, &t);
+        let measure_from = SimTime::ZERO + config.warmup;
+        for r in result.metrics.records() {
+            assert!(r.arrival >= measure_from, "pre-warmup request measured");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Observability: an optional journal of cluster-level events.
+//!
+//! When enabled (see [`crate::ClusterConfig`]'s `journal_capacity`
+//! field), the engine records the
+//! interesting state transitions — batch lifecycle, reconfigurations,
+//! spot-market events — so a run can be audited or debugged after the
+//! fact without re-instrumenting the engine. The journal is bounded:
+//! once `capacity` entries are recorded, further events are counted but
+//! dropped.
+
+use protean_models::ModelId;
+use protean_sim::SimTime;
+
+use crate::batch::BatchId;
+
+/// One recorded cluster event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A batch was sealed at the gateway.
+    BatchSealed {
+        /// The batch.
+        batch: BatchId,
+        /// Its model.
+        model: ModelId,
+        /// Strictness class.
+        strict: bool,
+        /// Number of requests.
+        size: u32,
+    },
+    /// A batch was dispatched to a worker.
+    BatchDispatched {
+        /// The batch.
+        batch: BatchId,
+        /// Destination worker.
+        worker: usize,
+    },
+    /// A batch began executing on a slice.
+    BatchPlaced {
+        /// The batch.
+        batch: BatchId,
+        /// The worker.
+        worker: usize,
+        /// Slice index within the worker's geometry.
+        slice: usize,
+    },
+    /// A batch finished executing.
+    BatchFinished {
+        /// The batch.
+        batch: BatchId,
+        /// The worker.
+        worker: usize,
+    },
+    /// A container cold start began.
+    ColdStart {
+        /// The worker.
+        worker: usize,
+        /// The model whose pool is booting a container.
+        model: ModelId,
+    },
+    /// A GPU completed a MIG reconfiguration.
+    Reconfigured {
+        /// The worker.
+        worker: usize,
+        /// The new geometry in paper notation.
+        geometry: String,
+    },
+    /// A spot VM received an eviction notice.
+    EvictionNotice {
+        /// The worker.
+        worker: usize,
+        /// When the VM will be reclaimed.
+        evict_at: SimTime,
+    },
+    /// A worker's VM was reclaimed.
+    Evicted {
+        /// The worker.
+        worker: usize,
+    },
+    /// A replacement VM came up on a worker slot.
+    VmInstalled {
+        /// The worker.
+        worker: usize,
+    },
+}
+
+/// A bounded, timestamped journal of [`JournalEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    capacity: usize,
+    entries: Vec<(SimTime, JournalEvent)>,
+    dropped: u64,
+}
+
+impl Journal {
+    /// Creates a journal holding at most `capacity` entries
+    /// (`capacity == 0` disables recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            capacity,
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// `true` if the journal records events.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records `event` at `now` (drops it once full).
+    pub fn record(&mut self, now: SimTime, event: JournalEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((now, event));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded entries, in order.
+    pub fn entries(&self) -> &[(SimTime, JournalEvent)] {
+        &self.entries
+    }
+
+    /// Events that arrived after the journal filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries matching a predicate (convenience for tests/analysis).
+    pub fn filter<'a, F: Fn(&JournalEvent) -> bool + 'a>(
+        &'a self,
+        pred: F,
+    ) -> impl Iterator<Item = &'a (SimTime, JournalEvent)> + 'a {
+        self.entries.iter().filter(move |(_, e)| pred(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let mut j = Journal::new(0);
+        assert!(!j.enabled());
+        j.record(SimTime::ZERO, JournalEvent::Evicted { worker: 0 });
+        assert!(j.entries().is_empty());
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn journal_caps_and_counts_drops() {
+        let mut j = Journal::new(2);
+        for w in 0..5 {
+            j.record(
+                SimTime::from_secs(w as f64),
+                JournalEvent::Evicted { worker: w },
+            );
+        }
+        assert_eq!(j.entries().len(), 2);
+        assert_eq!(j.dropped(), 3);
+    }
+
+    #[test]
+    fn filter_selects_matching_events() {
+        let mut j = Journal::new(16);
+        j.record(SimTime::ZERO, JournalEvent::Evicted { worker: 1 });
+        j.record(
+            SimTime::ZERO,
+            JournalEvent::Reconfigured {
+                worker: 2,
+                geometry: "(4g, 3g)".into(),
+            },
+        );
+        let evictions: Vec<_> = j
+            .filter(|e| matches!(e, JournalEvent::Evicted { .. }))
+            .collect();
+        assert_eq!(evictions.len(), 1);
+    }
+}

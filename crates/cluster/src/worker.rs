@@ -1,0 +1,432 @@
+//! Per-worker-node state: VM binding, GPU, batch accumulators,
+//! container pools and the (optionally strict-priority) scheduler queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use protean_gpu::Gpu;
+use protean_models::{Catalog, ModelId};
+use protean_sim::SimTime;
+use protean_spot::{VmId, VmTier};
+
+use crate::batch::{Batch, BatchId};
+use crate::container::Pool;
+use crate::scheme::Scheme;
+
+/// Availability of a worker slot with respect to its backing VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// VM live, serving traffic.
+    Up,
+    /// Eviction notice received; finishing existing work, no new
+    /// requests routed here. Reclaimed at `evict_at`.
+    Evicting {
+        /// When the provider reclaims the VM.
+        evict_at: SimTime,
+    },
+    /// No backing VM (evicted and not yet replaced).
+    Down,
+}
+
+/// A batch currently executing on a GPU slice, with everything needed
+/// for the latency breakdown at completion.
+#[derive(Debug, Clone)]
+pub struct RunningBatch {
+    /// The batch itself.
+    pub batch: Batch,
+    /// Slice index it runs on.
+    pub slice: usize,
+    /// When execution began (slice admission).
+    pub exec_start: SimTime,
+    /// Solo time on that slice (after any scheme scaling), ms.
+    pub solo_on_slice_ms: f64,
+    /// Solo time on the full GPU, ms ("min possible time").
+    pub solo_7g_ms: f64,
+}
+
+/// Scheduler queue holding batches that have a container and await a
+/// slice. When `reorders` is set, strict batches are always served
+/// before best-effort ones (§4.1); within a class, order is FIFO.
+#[derive(Debug, Default)]
+pub struct SchedQueue {
+    reorders: bool,
+    strict: VecDeque<(u64, Batch)>,
+    best_effort: VecDeque<(u64, Batch)>,
+    seq: u64,
+    /// Running total of queued best-effort batch memory, GB
+    /// (Algorithm 1's `BE_mem` input).
+    be_mem_gb: f64,
+}
+
+impl SchedQueue {
+    /// Creates an empty queue with the given reordering policy.
+    pub fn new(reorders: bool) -> Self {
+        SchedQueue {
+            reorders,
+            ..SchedQueue::default()
+        }
+    }
+
+    /// Enqueues a batch; `mem_gb` is its per-batch memory footprint.
+    pub fn push(&mut self, batch: Batch, mem_gb: f64) {
+        let seq = self.seq;
+        self.seq += 1;
+        if batch.strict {
+            self.strict.push_back((seq, batch));
+        } else {
+            self.be_mem_gb += mem_gb;
+            self.best_effort.push_back((seq, batch));
+        }
+    }
+
+    /// The batches a placement pass may inspect, in service order. In
+    /// reordering mode this is up to `depth` strict batches followed by
+    /// up to `depth` best-effort batches — strict priority governs
+    /// *service order*, but a blocked strict head must not prevent
+    /// best-effort batches from using slices strict batches cannot take
+    /// anyway.
+    pub fn candidates(&self, depth: usize) -> Vec<&Batch> {
+        let mut out: Vec<&Batch> = Vec::with_capacity(depth.min(self.len()));
+        if self.reorders {
+            out.extend(self.strict.iter().take(depth).map(|(_, b)| b));
+            out.extend(self.best_effort.iter().take(depth).map(|(_, b)| b));
+        } else {
+            // FIFO across both classes: merge by sequence number.
+            let mut si = self.strict.iter().peekable();
+            let mut bi = self.best_effort.iter().peekable();
+            while out.len() < depth {
+                match (si.peek(), bi.peek()) {
+                    (Some((ss, sb)), Some((bs, bb))) => {
+                        if ss < bs {
+                            out.push(sb);
+                            si.next();
+                        } else {
+                            out.push(bb);
+                            bi.next();
+                        }
+                    }
+                    (Some((_, sb)), None) => {
+                        out.push(sb);
+                        si.next();
+                    }
+                    (None, Some((_, bb))) => {
+                        out.push(bb);
+                        bi.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes the batch with `id`; `mem_gb` must match the value given
+    /// at push time. Returns the batch if present.
+    pub fn remove(&mut self, id: BatchId, mem_gb: f64) -> Option<Batch> {
+        if let Some(pos) = self.strict.iter().position(|(_, b)| b.id == id) {
+            return self.strict.remove(pos).map(|(_, b)| b);
+        }
+        if let Some(pos) = self.best_effort.iter().position(|(_, b)| b.id == id) {
+            let removed = self.best_effort.remove(pos).map(|(_, b)| b);
+            if removed.is_some() {
+                self.be_mem_gb = (self.be_mem_gb - mem_gb).max(0.0);
+            }
+            return removed;
+        }
+        None
+    }
+
+    /// Total queued batches.
+    pub fn len(&self) -> usize {
+        self.strict.len() + self.best_effort.len()
+    }
+
+    /// `true` if no batches are queued.
+    pub fn is_empty(&self) -> bool {
+        self.strict.is_empty() && self.best_effort.is_empty()
+    }
+
+    /// Memory of queued best-effort batches, GB.
+    pub fn be_mem_gb(&self) -> f64 {
+        self.be_mem_gb
+    }
+
+    /// Drains every queued batch (eviction path).
+    pub fn drain_all(&mut self) -> Vec<Batch> {
+        self.be_mem_gb = 0.0;
+        self.strict
+            .drain(..)
+            .chain(self.best_effort.drain(..))
+            .map(|(_, b)| b)
+            .collect()
+    }
+}
+
+/// One worker node: a VM slot with one GPU and the serving pipeline.
+pub struct Worker {
+    /// Slot index in the cluster.
+    pub idx: usize,
+    /// The scheme instance making this worker's scheduling decisions.
+    pub scheme: Box<dyn Scheme>,
+    /// VM lifecycle status.
+    pub status: WorkerStatus,
+    /// Backing VM (id, tier) when up or evicting.
+    pub vm: Option<(VmId, VmTier)>,
+    /// Replacement VM that became ready while the old one drains.
+    pub pending_vm: Option<(VmId, VmTier)>,
+    /// The worker's GPU.
+    pub gpu: Gpu,
+    /// Bumped on every GPU rebuild (reconfiguration or VM replacement);
+    /// stale completion events carry an older epoch.
+    pub epoch: u64,
+    /// Sealed batches waiting for a container, per model.
+    pub wait_container: HashMap<ModelId, VecDeque<Batch>>,
+    /// Container pools per model.
+    pub pools: HashMap<ModelId, Pool>,
+    /// Batches with containers awaiting slice placement.
+    pub sched_queue: SchedQueue,
+    /// Batches executing on the GPU.
+    pub running: HashMap<BatchId, RunningBatch>,
+    /// Requests assigned to this worker and not yet completed (load
+    /// metric for the dispatcher).
+    pub outstanding: u64,
+    /// Batches dispatched here per model in the current monitor window
+    /// (drives predictive container pre-provisioning).
+    pub window_batches: HashMap<ModelId, u64>,
+    /// EWMA of per-window batch arrivals per model.
+    pub predicted_batches: HashMap<ModelId, f64>,
+    /// Best-effort requests seen in the current monitor window.
+    pub window_be: u64,
+    /// Strict requests seen in the current monitor window.
+    pub window_strict: u64,
+    /// Most recent best-effort model routed here.
+    pub last_be_model: Option<ModelId>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("idx", &self.idx)
+            .field("status", &self.status)
+            .field("outstanding", &self.outstanding)
+            .field("queued", &self.sched_queue.len())
+            .field("running", &self.running.len())
+            .finish()
+    }
+}
+
+impl Worker {
+    /// Creates an up worker with a fresh GPU in the scheme's initial
+    /// geometry.
+    pub fn new(idx: usize, scheme: Box<dyn Scheme>, now: SimTime) -> Self {
+        let gpu = Gpu::new(
+            protean_gpu::GpuId(idx as u32),
+            scheme.initial_geometry(),
+            scheme.sharing_mode(),
+            now,
+        );
+        let reorders = scheme.reorders();
+        Worker {
+            idx,
+            scheme,
+            status: WorkerStatus::Up,
+            vm: None,
+            pending_vm: None,
+            gpu,
+            epoch: 0,
+            wait_container: HashMap::new(),
+            pools: HashMap::new(),
+            sched_queue: SchedQueue::new(reorders),
+            running: HashMap::new(),
+            outstanding: 0,
+            window_batches: HashMap::new(),
+            predicted_batches: HashMap::new(),
+            window_be: 0,
+            window_strict: 0,
+            last_be_model: None,
+        }
+    }
+
+    /// `true` if the dispatcher may route new requests here.
+    pub fn routable(&self) -> bool {
+        matches!(self.status, WorkerStatus::Up)
+    }
+
+    /// Rebuilds the GPU (VM replacement): fresh geometry, empty pools.
+    pub fn reset_runtime(&mut self, now: SimTime) {
+        self.gpu = Gpu::new(
+            protean_gpu::GpuId(self.idx as u32),
+            self.scheme.initial_geometry(),
+            self.scheme.sharing_mode(),
+            now,
+        );
+        self.epoch += 1;
+        self.pools.clear();
+        self.wait_container.clear();
+        debug_assert!(self.running.is_empty(), "reset with running batches");
+    }
+
+    /// Pulls every batch held anywhere in this worker's pipeline
+    /// (container waits, scheduler queue, running batches) for
+    /// re-dispatch after an eviction.
+    pub fn drain_all_batches(&mut self) -> Vec<Batch> {
+        let mut out = Vec::new();
+        for q in self.wait_container.values_mut() {
+            out.extend(q.drain(..));
+        }
+        out.extend(self.sched_queue.drain_all());
+        out.extend(self.running.drain().map(|(_, rb)| rb.batch));
+        self.outstanding = 0;
+        out
+    }
+
+    /// Total cold starts across this worker's pools.
+    pub fn cold_starts(&self) -> u64 {
+        self.pools.values().map(Pool::cold_starts).sum()
+    }
+
+    /// Sum of best-effort memory waiting in the scheduler queue, for
+    /// Algorithm 1.
+    pub fn queued_be_mem_gb(&self, _catalog: &Catalog) -> f64 {
+        self.sched_queue.be_mem_gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes_for_test::AlwaysLargest;
+    use protean_trace::Request;
+    use protean_trace::RequestId;
+
+    fn batch(id: u64, strict: bool) -> Batch {
+        Batch {
+            id: BatchId(id),
+            model: ModelId::ResNet50,
+            strict,
+            requests: vec![Request {
+                id: RequestId(id),
+                arrival: SimTime::ZERO,
+                model: ModelId::ResNet50,
+                strict,
+            }],
+            sealed_at: SimTime::ZERO,
+            cold_wait_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn reordering_queue_serves_strict_first() {
+        let mut q = SchedQueue::new(true);
+        q.push(batch(1, false), 4.0);
+        q.push(batch(2, true), 0.0);
+        q.push(batch(3, false), 4.0);
+        q.push(batch(4, true), 0.0);
+        let order: Vec<u64> = q.candidates(10).iter().map(|b| b.id.0).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+        assert_eq!(q.be_mem_gb(), 8.0);
+    }
+
+    #[test]
+    fn fifo_queue_preserves_arrival_order() {
+        let mut q = SchedQueue::new(false);
+        q.push(batch(1, false), 4.0);
+        q.push(batch(2, true), 0.0);
+        q.push(batch(3, false), 4.0);
+        let order: Vec<u64> = q.candidates(10).iter().map(|b| b.id.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_updates_be_memory() {
+        let mut q = SchedQueue::new(true);
+        q.push(batch(1, false), 4.0);
+        q.push(batch(2, true), 0.0);
+        assert!(q.remove(BatchId(1), 4.0).is_some());
+        assert_eq!(q.be_mem_gb(), 0.0);
+        assert!(q.remove(BatchId(99), 4.0).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn candidates_respects_depth_per_class() {
+        let mut q = SchedQueue::new(true);
+        for i in 0..10 {
+            q.push(batch(i, i % 2 == 0), 1.0);
+        }
+        // Reordering mode inspects up to `depth` strict plus up to
+        // `depth` best-effort batches, strict first.
+        let c = q.candidates(3);
+        assert_eq!(c.len(), 6);
+        assert!(c[..3].iter().all(|b| b.strict));
+        assert!(c[3..].iter().all(|b| !b.strict));
+        // FIFO mode respects the depth strictly.
+        let mut f = SchedQueue::new(false);
+        for i in 0..10 {
+            f.push(batch(i, i % 2 == 0), 1.0);
+        }
+        assert_eq!(f.candidates(3).len(), 3);
+    }
+
+    #[test]
+    fn drain_all_batches_empties_worker() {
+        let mut w = Worker::new(0, Box::new(AlwaysLargest), SimTime::ZERO);
+        w.sched_queue.push(batch(1, true), 0.0);
+        w.sched_queue.push(batch(2, false), 4.0);
+        w.outstanding = 2;
+        let reqs = w.drain_all_batches();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(w.outstanding, 0);
+        assert!(w.sched_queue.is_empty());
+    }
+
+    proptest::proptest! {
+        /// Push/remove conservation: whatever order batches enter and
+        /// leave, the queue's BE-memory counter matches the live BE
+        /// batches and `candidates` covers the whole queue at full depth.
+        #[test]
+        fn prop_queue_conserves_batches_and_memory(
+            ops in proptest::collection::vec((proptest::bool::ANY, 0.5f64..8.0), 1..60),
+            reorders in proptest::bool::ANY,
+        ) {
+            let mut q = SchedQueue::new(reorders);
+            let mut live: Vec<(u64, bool, f64)> = Vec::new();
+            let mut next_id = 0u64;
+            for (strict, mem) in ops {
+                // Alternate pushes with occasional removals.
+                if next_id % 3 == 2 && !live.is_empty() {
+                    let (id, _, m) = live.remove(0);
+                    proptest::prop_assert!(q.remove(BatchId(id), m).is_some());
+                } else {
+                    q.push(batch(next_id, strict), mem);
+                    live.push((next_id, strict, mem));
+                }
+                next_id += 1;
+                let expected_be: f64 = live
+                    .iter()
+                    .filter(|(_, s, _)| !s)
+                    .map(|(_, _, m)| m)
+                    .sum();
+                proptest::prop_assert!((q.be_mem_gb() - expected_be).abs() < 1e-9,
+                    "be mem {} expected {}", q.be_mem_gb(), expected_be);
+                proptest::prop_assert_eq!(q.len(), live.len());
+                proptest::prop_assert_eq!(q.candidates(live.len().max(1)).len(), live.len());
+            }
+            // Drain and verify every live batch is still present.
+            for (id, _, m) in live {
+                proptest::prop_assert!(q.remove(BatchId(id), m).is_some());
+            }
+            proptest::prop_assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn reset_runtime_bumps_epoch_and_rebuilds_gpu() {
+        let mut w = Worker::new(0, Box::new(AlwaysLargest), SimTime::ZERO);
+        let e0 = w.epoch;
+        w.reset_runtime(SimTime::from_secs(1.0));
+        assert_eq!(w.epoch, e0 + 1);
+        assert!(w.gpu.is_idle());
+        assert!(w.routable());
+    }
+}

@@ -1,0 +1,108 @@
+//! The lightweight EWMA predictor used by the GPU Reconfigurator
+//! (§4.4, borrowed from Atoll).
+
+/// Exponentially weighted moving average: `v ← α·x + (1−α)·v`.
+///
+/// # Example
+///
+/// ```
+/// use protean::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// e.observe(10.0);
+/// e.observe(20.0);
+/// assert_eq!(e.predict(), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a predictor with smoothing factor `alpha ∈ (0, 1]`.
+    /// `alpha = 1` degenerates to last-value prediction (the Oracle
+    /// variant's "perfect" short-horizon predictor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} out of range");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// The current prediction (0 before any observation).
+    pub fn predict(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_observation_is_taken_verbatim() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.predict(), 0.0);
+        e.observe(42.0);
+        assert_eq!(e.predict(), 42.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_last_value() {
+        let mut e = Ewma::new(1.0);
+        e.observe(5.0);
+        e.observe(100.0);
+        assert_eq!(e.predict(), 100.0);
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut e = Ewma::new(0.3);
+        e.observe(0.0);
+        for _ in 0..100 {
+            e.observe(7.0);
+        }
+        assert!((e.predict() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+
+    proptest! {
+        /// The prediction always stays within the observed range.
+        #[test]
+        fn prop_prediction_bounded(
+            alpha in 0.01f64..1.0,
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        ) {
+            let mut e = Ewma::new(alpha);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &x in &xs {
+                e.observe(x);
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            prop_assert!(e.predict() >= lo - 1e-9 && e.predict() <= hi + 1e-9);
+        }
+    }
+}

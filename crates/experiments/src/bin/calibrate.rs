@@ -1,0 +1,42 @@
+//! Calibration scratchpad: compares the primary schemes on a few
+//! representative workloads and prints the headline numbers, so the
+//! catalog/engine constants can be tuned until the paper's qualitative
+//! orderings hold. Not one of the paper's figures.
+
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_cluster::SchemeBuilder;
+use protean_experiments::report::{banner, breakdown_table, scheme_table};
+use protean_experiments::{run_scheme, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    for model in [
+        ModelId::Vgg19,
+        ModelId::ShuffleNetV2,
+        ModelId::ResNet50,
+        ModelId::Albert,
+    ] {
+        banner("calibrate", &format!("{model} (Wiki, 50/50)"));
+        let trace = setup.wiki_trace(model);
+        let schemes: Vec<Box<dyn SchemeBuilder>> = vec![
+            Box::new(Baseline::MoleculeBeta),
+            Box::new(Baseline::InflessLlama),
+            Box::new(Baseline::NaiveSlicing),
+            Box::new(ProteanBuilder::paper()),
+        ];
+        let rows: Vec<_> = schemes
+            .iter()
+            .map(|s| run_scheme(&config, s.as_ref(), &trace))
+            .collect();
+        scheme_table(&rows);
+        breakdown_table(
+            &rows
+                .iter()
+                .map(|r| (r.scheme.clone(), r.tail_breakdown, r.slo_compliance_pct))
+                .collect::<Vec<_>>(),
+        );
+    }
+}

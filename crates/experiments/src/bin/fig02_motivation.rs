@@ -1,0 +1,43 @@
+//! Fig. 2 — §2.2 motivational study: tail-latency breakdown and SLO
+//! compliance of the five GPU-sharing strategies on one GPU.
+//!
+//! Workloads, per the paper: (i) Simplified DLA at a constant 500 rps
+//! (batch 128) and (ii) ALBERT at 6 rps (batch 4); in each experiment
+//! half the requests are strict (3× SLO) and half best-effort of the
+//! *same* model. All MIG-enabled schemes use the `(4g, 3g)` geometry.
+
+use protean_experiments::chart::stacked_breakdown_chart;
+use protean_experiments::report::{banner, breakdown_table};
+use protean_experiments::schemes;
+use protean_experiments::{run_scheme, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let mut config = setup.cluster();
+    config.workers = 1; // single A100, as in §2.2
+    for (model, rps) in [(ModelId::SimplifiedDla, 500.0), (ModelId::Albert, 6.0)] {
+        banner(
+            "Fig. 2",
+            &format!("{model} at {rps} rps on one GPU (strict SLO = 3x 7g latency)"),
+        );
+        let mut trace = setup.constant_trace(model, rps);
+        trace.be_pool = vec![model]; // BE requests are the same model
+        let rows: Vec<_> = schemes::motivational()
+            .iter()
+            .map(|s| run_scheme(&config, s.as_ref(), &trace))
+            .collect();
+        breakdown_table(
+            &rows
+                .iter()
+                .map(|r| (r.scheme.clone(), r.tail_breakdown, r.slo_compliance_pct))
+                .collect::<Vec<_>>(),
+        );
+        stacked_breakdown_chart(
+            &rows
+                .iter()
+                .map(|r| (r.scheme.clone(), r.tail_breakdown))
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 3 — normalized Fractional Bandwidth Requirements of the
+//! workload catalog, with the LI (yellow) / HI (orange) classes; the
+//! VHI language models of §6.2 are listed alongside.
+//!
+//! Also demonstrates the §3 profiling procedure: pairwise co-location
+//! measurements are synthesised through Eq. 1 and the FBRs recovered by
+//! solving the resulting linear systems, as the paper describes.
+
+use protean_experiments::report::{banner, table};
+use protean_models::{catalog, estimate_fbr_from_pairs, CoLocationMeasurement, InterferenceClass};
+
+fn main() {
+    let cat = catalog();
+    let max_fbr = cat.profiles().iter().map(|p| p.fbr).fold(0.0, f64::max);
+    banner("Fig. 3", "normalized FBRs of the 22 inference workloads");
+    let rows: Vec<Vec<String>> = cat
+        .profiles()
+        .iter()
+        .map(|p| {
+            vec![
+                p.id.to_string(),
+                format!("{:?}", p.domain),
+                match p.class {
+                    InterferenceClass::Li => "LI".to_string(),
+                    InterferenceClass::Hi => "HI".to_string(),
+                    InterferenceClass::Vhi => "VHI".to_string(),
+                },
+                format!("{:.3}", p.fbr / max_fbr),
+                format!("{:.2}", p.fbr),
+            ]
+        })
+        .collect();
+    table(&["model", "domain", "class", "FBR (norm.)", "FBR"], &rows);
+
+    // §3 profiling: recover the HI vision FBRs from synthetic pairwise
+    // co-location slowdowns (Eq. 1), as PROTEAN's profiler would.
+    banner(
+        "Fig. 3 (profiling)",
+        "FBRs recovered from co-location measurements",
+    );
+    let hi: Vec<_> = cat.in_class(InterferenceClass::Hi).collect();
+    let mut measurements = Vec::new();
+    for (i, a) in hi.iter().enumerate() {
+        for b in hi.iter().skip(i + 1) {
+            let slowdown = (a.fbr + b.fbr).max(1.0);
+            measurements.push(CoLocationMeasurement {
+                job: a.id,
+                partner: b.id,
+                slowdown,
+            });
+            measurements.push(CoLocationMeasurement {
+                job: b.id,
+                partner: a.id,
+                slowdown,
+            });
+        }
+    }
+    let recovered = estimate_fbr_from_pairs(&measurements, 300);
+    let mut rows: Vec<Vec<String>> = hi
+        .iter()
+        .map(|p| {
+            vec![
+                p.id.to_string(),
+                format!("{:.3}", p.fbr),
+                format!("{:.3}", recovered.get(&p.id).copied().unwrap_or(f64::NAN)),
+            ]
+        })
+        .collect();
+    rows.sort();
+    table(&["model", "catalog FBR", "recovered FBR"], &rows);
+}

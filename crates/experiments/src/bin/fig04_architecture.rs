@@ -1,0 +1,52 @@
+//! Fig. 4 — PROTEAN's design schematic, rendered as text with each
+//! numbered component mapped to its implementation in this repository.
+
+fn main() {
+    println!(
+        r#"
+=== Fig. 4: PROTEAN design (component -> implementation) ===
+
+             user requests
+                  |
+                  v
+   +-------------------------------+
+   | (1) Gateway                   |  protean_cluster::engine (request ingest,
+   |     batching + (3) reordering |  gateway accumulators, strict-first queue:
+   |                               |  protean_cluster::worker::SchedQueue)
+   +-------------------------------+
+                  |
+                  v
+   +-------------------------------+
+   | (2) Dispatcher                |  protean_cluster::scheme::DispatchPolicy
+   |     load balancing            |  (least-loaded; consolidation for the
+   |                               |  INFless/Llama + GPUlet baselines)
+   +-------------------------------+
+        |        |        |
+        v        v        v
+   worker 0  worker 1 .. worker 7      protean_cluster::worker::Worker
+   +-------------------------------+
+   | (4) Autoscaler                |  protean_cluster::container::Pool
+   |     reactive scale-up,        |  (one container per batch, delayed
+   |     delayed termination       |  termination keep-alive, optional
+   |                               |  predictive pre-provisioning)
+   | (5) Job Distribution          |  protean::distribution (Algorithm 1:
+   |     (6) tag_values            |  tag_slices / choose_strict_slice by
+   |     (7) choose_strict_slice   |  Eq. 2 eta / choose_best_effort_slice
+   |     (8) choose_BE_slice       |  first-fit packing)
+   | (6) GPU Reconfigurator        |  protean::reconfigurator (Algorithm 2:
+   |     EWMA + T_low/T_high +     |  protean::ewma, wait counter, <=30%%
+   |     wait counter              |  concurrent reconfigs in the engine)
+   |                               |
+   |   GPU (MIG slices + MPS)      |  protean_gpu::{{Gpu, Slice, Geometry,
+   |                               |  placement}} (Eq. 1 interference)
+   +-------------------------------+
+                  ^
+                  |
+   +-------------------------------+
+   | (7) Cost-aware Procurement    |  protean_spot::{{SpotMarket,
+   |     spot VMs w/ on-demand     |  ProcurementPolicy, VmLedger}} +
+   |     fallback                  |  the engine's eviction lifecycle
+   +-------------------------------+
+"#
+    );
+}

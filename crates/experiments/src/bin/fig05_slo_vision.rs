@@ -1,0 +1,43 @@
+//! Fig. 5 — SLO compliance of all schemes for all 12 vision models
+//! (Wiki trace, ~5000 rps mean, 8×A100, 50/50 strict/BE).
+
+use protean_experiments::chart::bar_chart;
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::catalog;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    let cat = catalog();
+    banner("Fig. 5", "SLO compliance (%) per vision model and scheme");
+    let lineup = schemes::primary();
+    let mut headers: Vec<String> = vec!["model".to_string()];
+    headers.extend(lineup.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0f64; lineup.len()];
+    for model in cat.vision().map(|p| p.id).collect::<Vec<_>>() {
+        let trace = setup.wiki_trace(model);
+        let mut row = vec![model.to_string()];
+        for (i, s) in lineup.iter().enumerate() {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            sums[i] += r.slo_compliance_pct;
+            row.push(format!("{:.2}", r.slo_compliance_pct));
+        }
+        rows.push(row);
+        // Print incrementally so long runs show progress.
+        eprintln!("  done: {model}");
+    }
+    table(&header_refs, &rows);
+    println!();
+    bar_chart(
+        "mean SLO compliance over the 12 vision models (%)",
+        &lineup
+            .iter()
+            .zip(&sums)
+            .map(|(s, sum)| (s.name().to_string(), sum / 12.0))
+            .collect::<Vec<_>>(),
+        100.0,
+    );
+}

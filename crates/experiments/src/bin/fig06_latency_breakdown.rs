@@ -1,0 +1,33 @@
+//! Fig. 6 — breakdown of strict-job P99 tail latencies for a subset of
+//! the vision models (queueing / cold start / interference / resource
+//! deficiency / minimum possible time).
+
+use protean_experiments::chart::stacked_breakdown_chart;
+use protean_experiments::report::{banner, breakdown_table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    for model in [ModelId::ResNet50, ModelId::ShuffleNetV2, ModelId::Vgg19] {
+        banner("Fig. 6", &format!("P99 tail breakdown (ms), {model}"));
+        let trace = setup.wiki_trace(model);
+        let rows: Vec<_> = schemes::primary()
+            .iter()
+            .map(|s| run_scheme(&config, s.as_ref(), &trace))
+            .collect();
+        breakdown_table(
+            &rows
+                .iter()
+                .map(|r| (r.scheme.clone(), r.tail_breakdown, r.slo_compliance_pct))
+                .collect::<Vec<_>>(),
+        );
+        stacked_breakdown_chart(
+            &rows
+                .iter()
+                .map(|r| (r.scheme.clone(), r.tail_breakdown))
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 8 — CDF of end-to-end strict-job latencies for all schemes on
+//! the SENet 18 model. PROTEAN's curve should stay flat and inside the
+//! SLO through P99; INFless/Llama and Naïve Slicing cross the SLO well
+//! before the tail; Molecule (beta) rises progressively with queueing.
+
+use protean_experiments::chart::line_plot;
+use protean_experiments::report::{banner, csv_series};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_metrics::record::Class;
+use protean_models::{catalog, ModelId};
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    let model = ModelId::SeNet18;
+    let slo_ms = catalog().profile(model).slo().as_millis_f64();
+    banner(
+        "Fig. 8",
+        &format!("latency CDF, {model} (SLO {slo_ms:.0} ms)"),
+    );
+    let trace = setup.wiki_trace(model);
+    let mut curves: Vec<(char, String, Vec<(f64, f64)>)> = Vec::new();
+    let glyphs = ['M', 'I', 'N', 'P'];
+    for (i, s) in schemes::primary().iter().enumerate() {
+        let row = run_scheme(&config, s.as_ref(), &trace);
+        let cdf = row.result.metrics.latency_cdf(Class::Strict, 50);
+        let points: Vec<Vec<f64>> = cdf.iter().map(|(l, f)| vec![*l, *f]).collect();
+        csv_series(
+            &format!("{} (SLO {:.0} ms)", row.scheme, slo_ms),
+            &["latency_ms", "cumulative_fraction"],
+            &points,
+        );
+        curves.push((glyphs[i % glyphs.len()], row.scheme.clone(), cdf));
+    }
+    println!();
+    for (glyph, name, _) in &curves {
+        println!("  [{glyph}] {name}");
+    }
+    let series: Vec<(char, &[(f64, f64)])> = curves
+        .iter()
+        .map(|(g, _, pts)| (*g, pts.as_slice()))
+        .collect();
+    line_plot(
+        &format!("latency CDF (SLO at {slo_ms:.0} ms)"),
+        "latency ms",
+        "fraction",
+        &series,
+        16,
+    );
+}

@@ -1,0 +1,86 @@
+//! Fig. 10 — PROTEAN's other key benefits: strict-request throughput
+//! (DenseNet 121) and GPU compute/memory utilization
+//! (EfficientNet-B0).
+//!
+//! Throughput in the paper is "determined by the batch execution
+//! latency of strict requests" (all schemes see the same arrivals), so
+//! alongside the served rate we report the *service rate* — batch size
+//! over mean strict latency — which is where the schemes differ.
+//! Utilization is reported as the cluster mean and the busiest GPU:
+//! consolidating schemes (INFless/Llama) concentrate load, maximising
+//! per-GPU utilization while the cluster mean stays low.
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_metrics::record::Class;
+use protean_models::{catalog, ModelId};
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+
+    banner("Fig. 10a", "throughput (DenseNet 121)");
+    let trace = setup.wiki_trace(ModelId::DenseNet121);
+    let batch = f64::from(catalog().profile(ModelId::DenseNet121).batch_size);
+    let rows: Vec<Vec<String>> = schemes::primary()
+        .iter()
+        .map(|s| {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            let lats = r.result.metrics.latencies_ms(Class::Strict);
+            let mean_ms = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+            vec![
+                r.scheme.clone(),
+                format!("{:.1}", r.strict_throughput),
+                format!("{:.1}", r.total_throughput),
+                format!("{:.0}", batch / (mean_ms / 1000.0)),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "scheme",
+            "served strict/GPU/s",
+            "served total/GPU/s",
+            "service rate (req/s per batch slot)",
+        ],
+        &rows,
+    );
+
+    banner("Fig. 10b", "GPU utilization (EfficientNet-B0), percent");
+    let trace = setup.wiki_trace(ModelId::EfficientNetB0);
+    let rows: Vec<Vec<String>> = schemes::primary()
+        .iter()
+        .map(|s| {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            let peak_compute = r
+                .result
+                .per_gpu_compute_utilization
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            let peak_mem = r
+                .result
+                .per_gpu_memory_utilization
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            vec![
+                r.scheme.clone(),
+                format!("{:.1}", r.gpu_util_pct),
+                format!("{:.1}", peak_compute * 100.0),
+                format!("{:.1}", r.mem_util_pct),
+                format!("{:.1}", peak_mem * 100.0),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "scheme",
+            "GPU util % (mean)",
+            "GPU util % (busiest)",
+            "mem util % (mean)",
+            "mem util % (busiest)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 11 — tail-latency breakdown and SLO compliance under the
+//! erratic Twitter trace (MobileNet, ~5000 rps peak, ~3000 rps mean).
+//! Request surges find under-provisioned containers; PROTEAN limits
+//! the queueing damage through strict-first reordering.
+
+use protean_experiments::chart::stacked_breakdown_chart;
+use protean_experiments::report::{banner, breakdown_table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    let trace = setup.twitter_trace(ModelId::MobileNet);
+    banner(
+        "Fig. 11",
+        "Twitter trace, MobileNet: P99 breakdown and SLO%",
+    );
+    let rows: Vec<_> = schemes::primary()
+        .iter()
+        .map(|s| run_scheme(&config, s.as_ref(), &trace))
+        .collect();
+    breakdown_table(
+        &rows
+            .iter()
+            .map(|r| (r.scheme.clone(), r.tail_breakdown, r.slo_compliance_pct))
+            .collect::<Vec<_>>(),
+    );
+    stacked_breakdown_chart(
+        &rows
+            .iter()
+            .map(|r| (r.scheme.clone(), r.tail_breakdown))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 12 — SLO compliance for the Very High Interference language
+//! models (128 rps, batch 4, Wiki trace): the MPS-consolidating schemes
+//! suffer from the LLMs' high FBRs; PROTEAN stays compliant through
+//! isolation-aware placement.
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::catalog;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    let cat = catalog();
+    banner("Fig. 12", "SLO compliance (%) per VHI language model");
+    let lineup = schemes::primary();
+    let mut headers: Vec<String> = vec!["model".to_string()];
+    headers.extend(lineup.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for model in cat.vhi_non_generative().map(|p| p.id).collect::<Vec<_>>() {
+        let trace = setup.wiki_trace(model);
+        let mut row = vec![model.to_string()];
+        for s in &lineup {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            row.push(format!("{:.2}", r.slo_compliance_pct));
+        }
+        rows.push(row);
+        eprintln!("  done: {model}");
+    }
+    table(&header_refs, &rows);
+}

@@ -1,0 +1,30 @@
+//! Fig. 13 — SLO compliance for the modern generative LLMs: strict
+//! requests are GPT-1 / GPT-2, best-effort requests rotate through the
+//! other language models. The especially high GPT FBRs sink every
+//! MPS-consolidating scheme; PROTEAN co-locates classes judiciously.
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    banner("Fig. 13", "SLO compliance (%) for GPT-1 and GPT-2");
+    let lineup = schemes::primary();
+    let mut headers: Vec<String> = vec!["model".to_string()];
+    headers.extend(lineup.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for model in [ModelId::Gpt1, ModelId::Gpt2] {
+        let trace = setup.wiki_trace(model);
+        let mut row = vec![model.to_string()];
+        for s in &lineup {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            row.push(format!("{:.2}", r.slo_compliance_pct));
+        }
+        rows.push(row);
+        eprintln!("  done: {model}");
+    }
+    table(&header_refs, &rows);
+}

@@ -1,0 +1,33 @@
+//! Fig. 14 — SLO compliance under skewed strictness ratios for
+//! ShuffleNet V2 (LI) and DPN 92 (HI): (a) strict-skewed 75/25 and
+//! (b) BE-skewed 25/75.
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    for (caption, ratio) in [
+        ("(a) strict-skewed 75/25", 0.75),
+        ("(b) BE-skewed 25/75", 0.25),
+    ] {
+        banner("Fig. 14", caption);
+        let lineup = schemes::primary();
+        let mut headers: Vec<String> = vec!["model".to_string()];
+        headers.extend(lineup.iter().map(|s| s.name().to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for model in [ModelId::ShuffleNetV2, ModelId::Dpn92] {
+            let trace = setup.wiki_trace_with_ratio(model, ratio);
+            let mut row = vec![model.to_string()];
+            for s in &lineup {
+                let r = run_scheme(&config, s.as_ref(), &trace);
+                row.push(format!("{:.2}", r.slo_compliance_pct));
+            }
+            rows.push(row);
+        }
+        table(&header_refs, &rows);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 15 — SLO compliance when the SLO target is tightened from 3× to
+//! 2× the minimum execution latency. The comparison schemes degrade
+//! considerably; PROTEAN degrades only a few percent.
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    banner(
+        "Fig. 15",
+        "SLO compliance (%) at 2x (tight) vs 3x (default) SLO",
+    );
+    let lineup = schemes::primary();
+    let mut rows = Vec::new();
+    for model in [ModelId::ResNet50, ModelId::ShuffleNetV2, ModelId::Vgg19] {
+        let trace = setup.wiki_trace(model);
+        for s in &lineup {
+            let mut tight = setup.cluster();
+            tight.slo_multiplier = 2.0;
+            let tight_row = run_scheme(&tight, s.as_ref(), &trace);
+            let default_row = run_scheme(&setup.cluster(), s.as_ref(), &trace);
+            rows.push(vec![
+                model.to_string(),
+                tight_row.scheme.clone(),
+                format!("{:.2}", tight_row.slo_compliance_pct),
+                format!("{:.2}", default_row.slo_compliance_pct),
+                format!(
+                    "{:.2}",
+                    default_row.slo_compliance_pct - tight_row.slo_compliance_pct
+                ),
+            ]);
+        }
+        eprintln!("  done: {model}");
+    }
+    table(
+        &["model", "scheme", "SLO% @2x", "SLO% @3x", "degradation"],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 17 — PROTEAN versus an Oracle with offline knowledge of the
+//! ideal configurations: the Oracle predicts perfectly (EWMA α = 1),
+//! never hesitates (wait limit 0), and pays no reconfiguration
+//! downtime. The gap should be small (paper: ≤0.42% SLO, ≤17% tail).
+
+use protean::ProteanBuilder;
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, PaperSetup};
+use protean_models::ModelId;
+use protean_sim::SimDuration;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    banner("Fig. 17", "PROTEAN vs Oracle: SLO % and strict P99 (ms)");
+    let mut rows = Vec::new();
+    for model in [ModelId::ResNet50, ModelId::ShuffleNetV2, ModelId::Vgg19] {
+        let trace = setup.wiki_trace(model);
+        let protean_row = run_scheme(&setup.cluster(), &ProteanBuilder::paper(), &trace);
+        // The Oracle pays no reconfiguration downtime and no cold starts
+        // (its offline sweeps pre-provision everything).
+        let mut oracle_cfg = setup.cluster();
+        oracle_cfg.reconfig_delay = SimDuration::ZERO;
+        oracle_cfg.cold_start = SimDuration::ZERO;
+        let oracle_row = run_scheme(&oracle_cfg, &ProteanBuilder::oracle(), &trace);
+        rows.push(vec![
+            model.to_string(),
+            format!("{:.2}", protean_row.slo_compliance_pct),
+            format!("{:.2}", oracle_row.slo_compliance_pct),
+            format!("{:.1}", protean_row.strict_p99_ms),
+            format!("{:.1}", oracle_row.strict_p99_ms),
+        ]);
+        eprintln!("  done: {model}");
+    }
+    table(
+        &[
+            "model",
+            "PROTEAN SLO%",
+            "Oracle SLO%",
+            "PROTEAN P99",
+            "Oracle P99",
+        ],
+        &rows,
+    );
+}

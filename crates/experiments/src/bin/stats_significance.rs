@@ -1,0 +1,81 @@
+//! §7 "Statistical Significance" — re-runs the primary comparison over
+//! multiple independent seeds and reports, per the paper:
+//!
+//! * 95% confidence intervals on each scheme's SLO compliance (paper:
+//!   half-widths < 0.1%);
+//! * two-sided Welch p-values for PROTEAN vs every baseline (paper:
+//!   ~0.0, significant at the 0.05 level);
+//! * Cohen's *d* effect sizes (paper: 7.80–304.37, largest vs Molecule
+//!   for vision and vs INFless/Llama for the language models).
+//!
+//! Usage: `stats_significance [duration_secs] [n_seeds]` (defaults
+//! 60 s × 10 seeds; the per-seed duration is shorter than the figure
+//! default since this binary runs `schemes × seeds` simulations).
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_metrics::{cohens_d, mean_ci95, welch_t_test};
+use protean_models::ModelId;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(60.0);
+    let n_seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    for model in [ModelId::ResNet50, ModelId::Bert] {
+        banner(
+            "§7 significance",
+            &format!("{model}: {n_seeds} seeds x {duration} s per scheme"),
+        );
+        let lineup = schemes::primary();
+        // compliance[i][k] = scheme i's SLO compliance (%) under seed k.
+        let mut compliance: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
+        for seed in 0..n_seeds {
+            let setup = PaperSetup {
+                duration_secs: duration,
+                seed: 1000 + seed,
+            };
+            let config = setup.cluster();
+            let trace = setup.wiki_trace(model);
+            for (i, s) in lineup.iter().enumerate() {
+                let row = run_scheme(&config, s.as_ref(), &trace);
+                compliance[i].push(row.slo_compliance_pct);
+            }
+            eprintln!("  seed {} done", 1000 + seed);
+        }
+        // Confidence intervals.
+        let rows: Vec<Vec<String>> = lineup
+            .iter()
+            .zip(&compliance)
+            .map(|(s, xs)| {
+                let (mean, hw) = mean_ci95(xs);
+                vec![
+                    s.name().to_string(),
+                    format!("{mean:.3}"),
+                    format!("±{hw:.3}"),
+                ]
+            })
+            .collect();
+        table(&["scheme", "mean SLO%", "95% CI"], &rows);
+
+        // Pairwise tests: PROTEAN (last in the lineup) vs each baseline.
+        let protean = compliance.last().expect("lineup non-empty");
+        let rows: Vec<Vec<String>> = lineup
+            .iter()
+            .zip(&compliance)
+            .take(lineup.len() - 1)
+            .map(|(s, xs)| {
+                let t = welch_t_test(protean, xs);
+                let d = cohens_d(protean, xs);
+                vec![
+                    format!("PROTEAN vs {}", s.name()),
+                    format!("{:.2}", t.t),
+                    format!("{:.1}", t.df),
+                    format!("{:.2e}", t.p_value),
+                    format!("{d:.2}"),
+                ]
+            })
+            .collect();
+        table(&["pair", "t", "df", "p-value", "Cohen's d"], &rows);
+    }
+}

@@ -1,0 +1,63 @@
+//! Load-sensitivity sweep (beyond the paper's fixed ~5000 rps): SLO
+//! compliance of every primary scheme as the offered vision load grows,
+//! locating each scheme's knee. Complements Fig. 5 by showing *where*
+//! the schemes break rather than how they compare at one point.
+//!
+//! Usage: `sweep_load [duration_secs] [seed]`.
+
+use protean_experiments::chart::line_plot;
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+use protean_trace::TraceShape;
+
+const LOADS: [f64; 6] = [2000.0, 4000.0, 6000.0, 8000.0, 10000.0, 12000.0];
+
+fn main() {
+    let mut setup = PaperSetup::from_args();
+    if setup.duration_secs > 60.0 {
+        setup.duration_secs = 60.0; // 6 loads x 4 schemes: keep it quick
+    }
+    let config = setup.cluster();
+    let model = ModelId::ResNet50;
+    banner(
+        "load sweep",
+        &format!("strict SLO compliance vs offered load ({model}, Wiki)"),
+    );
+    let lineup = schemes::primary();
+    let mut headers: Vec<String> = vec!["offered rps".to_string()];
+    headers.extend(lineup.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); lineup.len()];
+    for rps in LOADS {
+        let mut trace = setup.wiki_trace(model);
+        trace.shape = TraceShape::wiki(rps);
+        let mut row = vec![format!("{rps:.0}")];
+        for (i, s) in lineup.iter().enumerate() {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            row.push(format!("{:.2}", r.slo_compliance_pct));
+            curves[i].push((rps, r.slo_compliance_pct));
+        }
+        rows.push(row);
+        eprintln!("  done: {rps:.0} rps");
+    }
+    table(&header_refs, &rows);
+    println!();
+    let glyphs = ['M', 'I', 'N', 'P'];
+    for (i, s) in lineup.iter().enumerate() {
+        println!("  [{}] {}", glyphs[i % glyphs.len()], s.name());
+    }
+    let series: Vec<(char, &[(f64, f64)])> = curves
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (glyphs[i % glyphs.len()], c.as_slice()))
+        .collect();
+    line_plot(
+        "SLO compliance vs offered load",
+        "rps",
+        "SLO %",
+        &series,
+        14,
+    );
+}

@@ -1,0 +1,33 @@
+//! Table 2 — the possible MIG instance profiles on an A100 GPU, plus
+//! the geometry count the Oracle's exhaustive sweep enumerates.
+
+use protean_experiments::report::{banner, table};
+use protean_gpu::{Geometry, SliceProfile};
+
+fn main() {
+    banner("Table 2", "MIG instance profiles on an A100-40GB");
+    let rows: Vec<Vec<String>> = SliceProfile::ALL
+        .iter()
+        .rev()
+        .map(|p| {
+            vec![
+                p.full_name().to_string(),
+                format!("{}/7", p.compute_sevenths()),
+                format!("{} GB", p.mem_gb()),
+                format!("{}/8", p.cache_eighths()),
+                p.max_count().to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &["slice", "compute", "memory", "cache/bandwidth", "max count"],
+        &rows,
+    );
+    let all = Geometry::enumerate_all();
+    println!(
+        "\n  {} valid geometries under the Table 2 rules (largest: {}, paper's fallback: {})",
+        all.len(),
+        Geometry::full(),
+        Geometry::g4_g3()
+    );
+}

@@ -1,0 +1,28 @@
+//! Table 3 — on-demand vs spot hourly pricing for an 8×A100 instance
+//! across the three main IaaS providers, with the cost-saving column.
+
+use protean_experiments::report::{banner, table};
+use protean_spot::{PricingTable, Provider, VmTier};
+
+fn main() {
+    banner(
+        "Table 3",
+        "8xA100 hourly pricing (USD), averaged US-east/west",
+    );
+    let t = PricingTable::paper_table3();
+    let rows: Vec<Vec<String>> = Provider::ALL
+        .iter()
+        .map(|&p| {
+            vec![
+                p.to_string(),
+                format!("{:.4}", t.price(p, VmTier::OnDemand)),
+                format!("{:.4}", t.price(p, VmTier::Spot)),
+                format!("{:.2}%", t.savings(p) * 100.0),
+            ]
+        })
+        .collect();
+    table(
+        &["IaaS provider", "on-demand $/h", "spot $/h", "cost savings"],
+        &rows,
+    );
+}

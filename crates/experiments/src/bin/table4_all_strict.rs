@@ -1,0 +1,23 @@
+//! Table 4 — SLO compliance for the 100%-strict case (ResNet 50): the
+//! "default" scenario INFless/Llama were designed for. With every
+//! request an HI model, MPS consolidation interferes with itself.
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::ModelId;
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    let mut trace = setup.wiki_trace_with_ratio(ModelId::ResNet50, 1.0);
+    trace.be_pool.clear();
+    banner("Table 4", "SLO compliance (%), 100% strict ResNet 50");
+    let rows: Vec<Vec<String>> = schemes::primary()
+        .iter()
+        .map(|s| {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            vec![r.scheme.clone(), format!("{:.2}", r.slo_compliance_pct)]
+        })
+        .collect();
+    table(&["scheme", "SLO%"], &rows);
+}

@@ -1,0 +1,32 @@
+//! Table 5 — (P50, P99) latency for the 100% best-effort case, with the
+//! BE model varied at random from the HI vision pool. PROTEAN wins the
+//! median by packing BE tightly but concedes the tail (it deprioritises
+//! BE by design).
+
+use protean_experiments::report::{banner, table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::{catalog, InterferenceClass, ModelId};
+
+fn main() {
+    let setup = PaperSetup::from_args();
+    let config = setup.cluster();
+    let cat = catalog();
+    let mut trace = setup.wiki_trace_with_ratio(ModelId::ResNet50, 0.0);
+    trace.be_pool = cat.in_class(InterferenceClass::Hi).map(|p| p.id).collect();
+    banner(
+        "Table 5",
+        "(P50, P99) latency in ms, 100% best-effort HI models",
+    );
+    let rows: Vec<Vec<String>> = schemes::primary()
+        .iter()
+        .map(|s| {
+            let r = run_scheme(&config, s.as_ref(), &trace);
+            vec![
+                r.scheme.clone(),
+                format!("{:.0}", r.be_p50_ms),
+                format!("{:.0}", r.be_p99_ms),
+            ]
+        })
+        .collect();
+    table(&["scheme", "P50 ms", "P99 ms"], &rows);
+}

@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6).
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` wires the paper's workload
+//! (models, traces, strictness mix) to the scheme(s) under test and
+//! prints the same rows/series the paper reports. The shared pieces
+//! live here:
+//!
+//! * [`setup`] — the paper's experimental setup as constructors: the
+//!   Wiki trace scaled to ~5000 rps mean for vision (128 rps for
+//!   language), the Twitter trace scaled to ~5000 rps peak, the 50/50
+//!   strict/BE mix with the BE model rotating through the opposite
+//!   interference class every ~20 s, and the 8-worker cluster.
+//! * [`runner`] — runs one scheme over one workload and condenses the
+//!   result into a [`runner::SchemeRow`].
+//! * [`report`] — fixed-width table and CSV-series printers so every
+//!   binary's output is regular enough to diff across runs.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p protean-experiments --bin fig05_slo_vision
+//! ```
+//!
+//! Every binary accepts an optional first argument overriding the
+//! simulated trace length in seconds (default 120) and a second
+//! argument overriding the seed (default 42), so quick smoke runs and
+//! full regenerations use the same code path.
+
+pub mod chart;
+pub mod report;
+pub mod runner;
+pub mod schemes;
+pub mod setup;
+
+pub use runner::{run_scheme, SchemeRow};
+pub use setup::PaperSetup;

@@ -1,0 +1,118 @@
+//! Runs schemes over workloads and condenses results into table rows.
+
+use protean_cluster::{run_simulation, ClusterConfig, SchemeBuilder, SimulationResult};
+use protean_metrics::record::Class;
+use protean_metrics::LatencyBreakdown;
+use protean_models::{Catalog, ModelId};
+use protean_sim::SimDuration;
+use protean_trace::TraceConfig;
+
+/// One scheme's condensed results for one workload — the numbers the
+/// paper's figures plot.
+#[derive(Debug, Clone)]
+pub struct SchemeRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Strict SLO compliance, percent.
+    pub slo_compliance_pct: f64,
+    /// Strict P50 latency, ms.
+    pub strict_p50_ms: f64,
+    /// Strict P99 latency, ms.
+    pub strict_p99_ms: f64,
+    /// Best-effort P50 latency, ms.
+    pub be_p50_ms: f64,
+    /// Best-effort P99 latency, ms.
+    pub be_p99_ms: f64,
+    /// Mean latency breakdown over the strict P99 tail (the stacked
+    /// bars of Figs. 2/6/11).
+    pub tail_breakdown: LatencyBreakdown,
+    /// Strict requests served per GPU per second (Fig. 10a).
+    pub strict_throughput: f64,
+    /// All requests served per GPU per second.
+    pub total_throughput: f64,
+    /// Mean GPU compute utilization, percent (Fig. 10b).
+    pub gpu_util_pct: f64,
+    /// Mean GPU memory utilization, percent (Fig. 10b).
+    pub mem_util_pct: f64,
+    /// Total dollar cost of the run.
+    pub cost_usd: f64,
+    /// Spot-VM evictions suffered.
+    pub evictions: u64,
+    /// Requests censored at cutoff (overload indicator).
+    pub censored: u64,
+    /// Completed MIG reconfigurations.
+    pub reconfigs: u64,
+    /// The full simulation result, for figure-specific post-processing
+    /// (CDFs, timelines).
+    pub result: SimulationResult,
+}
+
+/// Runs `scheme` over `trace` under `config` and condenses the result.
+pub fn run_scheme(
+    config: &ClusterConfig,
+    scheme: &dyn SchemeBuilder,
+    trace: &TraceConfig,
+) -> SchemeRow {
+    let result = run_simulation(config, scheme, trace);
+    let catalog = Catalog::new();
+    let multiplier = config.slo_multiplier;
+    let slo = move |m: ModelId| catalog.profile(m).slo_with_multiplier(multiplier);
+    let measured = duration_after_warmup(config, trace);
+    let m = &result.metrics;
+    SchemeRow {
+        scheme: result.scheme.clone(),
+        slo_compliance_pct: m.slo_compliance(&slo) * 100.0,
+        strict_p50_ms: m.latency_percentile_ms(Class::Strict, 0.50).unwrap_or(0.0),
+        strict_p99_ms: m.latency_percentile_ms(Class::Strict, 0.99).unwrap_or(0.0),
+        be_p50_ms: m
+            .latency_percentile_ms(Class::BestEffort, 0.50)
+            .unwrap_or(0.0),
+        be_p99_ms: m
+            .latency_percentile_ms(Class::BestEffort, 0.99)
+            .unwrap_or(0.0),
+        tail_breakdown: m.tail_breakdown(Class::Strict, 0.99).unwrap_or_default(),
+        strict_throughput: m.throughput_per_gpu(Class::Strict, measured, result.workers),
+        total_throughput: m.throughput_per_gpu(Class::All, measured, result.workers),
+        gpu_util_pct: result.compute_utilization * 100.0,
+        mem_util_pct: result.memory_utilization * 100.0,
+        cost_usd: result.cost.total_usd,
+        evictions: result.cost.evictions,
+        censored: result.censored,
+        reconfigs: result.reconfigs,
+        result,
+    }
+}
+
+fn duration_after_warmup(config: &ClusterConfig, trace: &TraceConfig) -> SimDuration {
+    let total = trace.duration;
+    if total > config.warmup {
+        total - config.warmup
+    } else {
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::PaperSetup;
+    use protean_baselines::Baseline;
+
+    #[test]
+    fn row_is_populated_and_consistent() {
+        let setup = PaperSetup {
+            duration_secs: 30.0,
+            seed: 1,
+        };
+        let mut config = setup.cluster();
+        config.workers = 2;
+        let trace = setup.constant_trace(ModelId::ResNet50, 400.0);
+        let row = run_scheme(&config, &Baseline::InflessLlama, &trace);
+        assert_eq!(row.scheme, "INFless/Llama");
+        assert!((0.0..=100.0).contains(&row.slo_compliance_pct));
+        assert!(row.strict_p99_ms >= row.strict_p50_ms);
+        assert!(row.strict_throughput > 0.0);
+        assert!(row.total_throughput >= row.strict_throughput);
+        assert!(row.cost_usd > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Scheme line-ups used across figures.
+
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_cluster::SchemeBuilder;
+
+/// The primary comparison of Figs. 5–15: Molecule (beta),
+/// INFless/Llama, Naïve Slicing and PROTEAN.
+pub fn primary() -> Vec<Box<dyn SchemeBuilder>> {
+    vec![
+        Box::new(Baseline::MoleculeBeta),
+        Box::new(Baseline::InflessLlama),
+        Box::new(Baseline::NaiveSlicing),
+        Box::new(ProteanBuilder::paper()),
+    ]
+}
+
+/// The §2.2 motivational line-up (Fig. 2): No MPS or MIG, MPS Only,
+/// MIG Only, MPS+MIG, and the 'Smart' MPS+MIG straw man.
+pub fn motivational() -> Vec<Box<dyn SchemeBuilder>> {
+    vec![
+        Box::new(Baseline::MoleculeBeta), // "No MPS or MIG"
+        Box::new(Baseline::InflessLlama), // "MPS Only"
+        Box::new(Baseline::MigOnly),
+        Box::new(Baseline::MpsMigEven),
+        Box::new(Baseline::SmartMpsMig),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineups_have_expected_members() {
+        let names: Vec<&str> = primary().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Molecule (beta)",
+                "INFless/Llama",
+                "Naive Slicing",
+                "PROTEAN"
+            ]
+        );
+        assert_eq!(motivational().len(), 5);
+    }
+}

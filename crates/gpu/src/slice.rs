@@ -1,0 +1,729 @@
+//! A single MIG slice executing jobs under MPS spatial sharing or FIFO
+//! time sharing.
+//!
+//! MPS execution is modelled as processor sharing with a global slowdown
+//! factor (Eq. 1): all resident jobs progress at rate `1 / slowdown`,
+//! and the slowdown changes whenever slice membership changes. The slice
+//! re-projects every resident job's completion time on each membership
+//! change and hands the projections back to the caller, tagged with a
+//! generation counter so stale events can be discarded.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use protean_sim::{Accumulator, SimDuration, SimTime};
+
+use crate::interference::slowdown_factor;
+use crate::profile::SliceProfile;
+
+/// Identifier of a job (a request batch) running on a GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Everything the GPU needs to know to execute one job on one slice.
+///
+/// The caller (the cluster) pre-resolves workload-specific quantities:
+/// `solo` is the job's isolated execution time *on this slice* (i.e.
+/// `Solo_7g × RDF(slice)`), and `fbr` is the job's Fractional Bandwidth
+/// Requirement relative to the *whole GPU's* bandwidth — the slice scales
+/// it to its own bandwidth share internally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Unique id of the job.
+    pub id: JobId,
+    /// Isolated execution time on this slice.
+    pub solo: SimDuration,
+    /// Fractional Bandwidth Requirement relative to the full GPU.
+    pub fbr: f64,
+    /// GPU memory occupied while the job runs, in GB.
+    pub mem_gb: f64,
+}
+
+/// How jobs on the slice share its resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingMode {
+    /// NVIDIA MPS: jobs run concurrently, interfering per Eq. 1.
+    Mps,
+    /// One job at a time; the slice reports [`AdmitError::Busy`] while
+    /// occupied (the caller queues).
+    TimeShared,
+}
+
+/// A projected job completion, tagged with the slice generation at which
+/// the projection was made. A completion is only valid while the slice's
+/// [`Slice::generation`] still equals `generation`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The job that will complete.
+    pub job: JobId,
+    /// Projected completion instant.
+    pub at: SimTime,
+    /// Slice generation the projection belongs to.
+    pub generation: u64,
+}
+
+/// Error returned by [`Slice::admit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitError {
+    /// The job's memory footprint does not fit in the slice's free memory.
+    OutOfMemory {
+        /// Free memory at admission time, in GB.
+        available_gb: f64,
+        /// The job's requested memory, in GB.
+        requested_gb: f64,
+    },
+    /// Time-shared slice already has a running job.
+    Busy,
+    /// A job with the same id is already resident.
+    DuplicateJob(JobId),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::OutOfMemory {
+                available_gb,
+                requested_gb,
+            } => write!(
+                f,
+                "job needs {requested_gb} GB but only {available_gb} GB free"
+            ),
+            AdmitError::Busy => write!(f, "time-shared slice is busy"),
+            AdmitError::DuplicateJob(id) => write!(f, "{id} is already resident"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Error returned by [`Slice::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishError {
+    /// No resident job has the given id.
+    UnknownJob(JobId),
+    /// The job exists but still has work remaining (the completion event
+    /// that triggered this call was stale).
+    NotDone(JobId),
+}
+
+impl fmt::Display for FinishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinishError::UnknownJob(id) => write!(f, "{id} is not resident"),
+            FinishError::NotDone(id) => write!(f, "{id} has work remaining"),
+        }
+    }
+}
+
+impl std::error::Error for FinishError {}
+
+/// Information about a job that has just finished on the slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinishedJob {
+    /// The job's spec as admitted.
+    pub spec: JobSpec,
+    /// When the job was admitted.
+    pub admitted_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    spec: JobSpec,
+    admitted_at: SimTime,
+    /// Remaining solo-equivalent work, in (fractional) microseconds.
+    remaining_us: f64,
+}
+
+/// Tolerance (in solo-microseconds) under which a job counts as done;
+/// absorbs the rounding introduced by projecting completions onto the
+/// integer-microsecond clock.
+const DONE_EPSILON_US: f64 = 1e-3;
+
+/// Additional slowdown per *extra* co-located MPS process, beyond the
+/// Eq. 1 bandwidth term: MPS processes share L2/caches (Fig. 1a), so
+/// every additional co-runner thrashes them a little even below
+/// bandwidth saturation. MIG isolation avoids this across slices, which
+/// is exactly the super-additive penalty the paper's motivational study
+/// attributes to "MPS Only" consolidation.
+pub const MPS_CACHE_PENALTY: f64 = 0.1;
+
+/// The super-additive MPS cache-thrashing term: zero for a lone
+/// process, [`MPS_CACHE_PENALTY`] per additional co-runner.
+fn cache_penalty(co_located: usize) -> f64 {
+    MPS_CACHE_PENALTY * co_located.saturating_sub(1) as f64
+}
+
+/// One MIG slice: the unit PROTEAN schedules jobs onto.
+///
+/// See the [crate docs](crate) for the execution model and an example.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    profile: SliceProfile,
+    mode: SharingMode,
+    running: Vec<Running>,
+    last_advance: SimTime,
+    generation: u64,
+    busy: Accumulator,
+    mem: Accumulator,
+    completed_jobs: u64,
+    busy_started: SimTime,
+}
+
+impl Slice {
+    /// Creates an idle slice observing metrics from `now`.
+    pub fn new(profile: SliceProfile, mode: SharingMode, now: SimTime) -> Self {
+        Slice {
+            profile,
+            mode,
+            running: Vec::new(),
+            last_advance: now,
+            generation: 0,
+            busy: Accumulator::new(now),
+            mem: Accumulator::new(now),
+            completed_jobs: 0,
+            busy_started: now,
+        }
+    }
+
+    /// The slice's MIG profile.
+    pub fn profile(&self) -> SliceProfile {
+        self.profile
+    }
+
+    /// The slice's sharing mode.
+    pub fn mode(&self) -> SharingMode {
+        self.mode
+    }
+
+    /// The current generation; completions from earlier generations are
+    /// stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Memory currently occupied by resident jobs, in GB.
+    pub fn mem_used_gb(&self) -> f64 {
+        self.running.iter().map(|r| r.spec.mem_gb).sum()
+    }
+
+    /// Free memory, in GB.
+    pub fn mem_available_gb(&self) -> f64 {
+        (self.profile.mem_gb() - self.mem_used_gb()).max(0.0)
+    }
+
+    /// `true` if no jobs are resident.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// Number of resident jobs.
+    pub fn job_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Specs of the resident jobs, in admission order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobSpec> {
+        self.running.iter().map(|r| &r.spec)
+    }
+
+    /// Jobs completed on this slice so far.
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// The Eq. 1 slowdown an *unstarved* job (bandwidth share ≤ 1)
+    /// currently experiences on this slice. Jobs whose own demand
+    /// exceeds the slice's bandwidth are normalised by their own share
+    /// (`max(1, total / max(1, share)) + penalty`): their solo starvation is
+    /// already captured by the RDF in their solo time, so Eq. 1 here
+    /// models only the *contention between co-located jobs*.
+    pub fn current_slowdown(&self) -> f64 {
+        match self.mode {
+            SharingMode::TimeShared => 1.0,
+            SharingMode::Mps => {
+                let shares: Vec<f64> = self
+                    .running
+                    .iter()
+                    .map(|r| self.fbr_share(&r.spec))
+                    .collect();
+                slowdown_factor(&shares) + cache_penalty(self.running.len())
+            }
+        }
+    }
+
+    /// The per-job slowdown for a resident job with bandwidth share
+    /// `share`, given the slice's total share load `total` and `n`
+    /// co-located jobs: `max(1, total / max(1, share)) + penalty`.
+    fn slowdown_of_share(share: f64, total: f64, n: usize) -> f64 {
+        (total / share.max(1.0)).max(1.0) + cache_penalty(n)
+    }
+
+    /// The slowdown factor that *would* be in force if `extra` additional
+    /// full-GPU FBR were added — what `choose_strict_slice` consults when
+    /// estimating Eq. 2 before placing a job.
+    pub fn projected_slowdown(&self, extra_fbr: f64) -> f64 {
+        match self.mode {
+            SharingMode::TimeShared => 1.0,
+            SharingMode::Mps => {
+                let extra_share = extra_fbr / self.profile.bandwidth_fraction();
+                let total: f64 = self
+                    .running
+                    .iter()
+                    .map(|r| self.fbr_share(&r.spec))
+                    .sum::<f64>()
+                    + extra_share;
+                Self::slowdown_of_share(extra_share, total, self.running.len() + 1)
+            }
+        }
+    }
+
+    fn fbr_share(&self, spec: &JobSpec) -> f64 {
+        spec.fbr / self.profile.bandwidth_fraction()
+    }
+
+    /// The raw sum of resident jobs' bandwidth shares (before Eq. 1's
+    /// `max(·, 1)`), scaled to this slice's bandwidth. Zero for
+    /// time-shared slices.
+    pub fn fbr_load(&self) -> f64 {
+        match self.mode {
+            SharingMode::TimeShared => 0.0,
+            SharingMode::Mps => self.running.iter().map(|r| self.fbr_share(&r.spec)).sum(),
+        }
+    }
+
+    /// Admits a job at `now` and returns fresh completion projections for
+    /// **all** resident jobs (previous projections become stale).
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::OutOfMemory`] if the job does not fit in free slice
+    ///   memory.
+    /// * [`AdmitError::Busy`] if the slice is time-shared and occupied.
+    /// * [`AdmitError::DuplicateJob`] if the id is already resident.
+    pub fn admit(&mut self, now: SimTime, spec: JobSpec) -> Result<Vec<Completion>, AdmitError> {
+        if self.running.iter().any(|r| r.spec.id == spec.id) {
+            return Err(AdmitError::DuplicateJob(spec.id));
+        }
+        if self.mode == SharingMode::TimeShared && !self.running.is_empty() {
+            return Err(AdmitError::Busy);
+        }
+        let available = self.mem_available_gb();
+        if spec.mem_gb > available + 1e-9 {
+            return Err(AdmitError::OutOfMemory {
+                available_gb: available,
+                requested_gb: spec.mem_gb,
+            });
+        }
+        self.advance(now);
+        if self.running.is_empty() {
+            self.busy_started = now;
+        }
+        self.running.push(Running {
+            spec,
+            admitted_at: now,
+            remaining_us: spec.solo.as_micros() as f64,
+        });
+        self.after_membership_change(now);
+        Ok(self.project_completions(now))
+    }
+
+    /// Completes `job` at `now` (which must match a live completion
+    /// projection) and returns the finished job plus fresh projections
+    /// for the jobs still resident.
+    ///
+    /// # Errors
+    ///
+    /// * [`FinishError::UnknownJob`] if the job is not resident.
+    /// * [`FinishError::NotDone`] if the job still has work remaining —
+    ///   the triggering event was stale and should have been discarded
+    ///   via [`Slice::generation`].
+    pub fn finish(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+    ) -> Result<(FinishedJob, Vec<Completion>), FinishError> {
+        self.advance(now);
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.spec.id == job)
+            .ok_or(FinishError::UnknownJob(job))?;
+        if self.running[idx].remaining_us > DONE_EPSILON_US {
+            return Err(FinishError::NotDone(job));
+        }
+        let done = self.running.remove(idx);
+        self.completed_jobs += 1;
+        self.after_membership_change(now);
+        Ok((
+            FinishedJob {
+                spec: done.spec,
+                admitted_at: done.admitted_at,
+            },
+            self.project_completions(now),
+        ))
+    }
+
+    /// Advances job progress to `now`, each job at its own slowdown.
+    fn advance(&mut self, now: SimTime) {
+        let elapsed_us = now.saturating_since(self.last_advance).as_micros() as f64;
+        if elapsed_us > 0.0 && !self.running.is_empty() {
+            let slowdowns = self.job_slowdowns();
+            for (r, sd) in self.running.iter_mut().zip(slowdowns) {
+                r.remaining_us = (r.remaining_us - elapsed_us / sd).max(0.0);
+            }
+        }
+        self.last_advance = self.last_advance.max(now);
+    }
+
+    /// Per-resident-job slowdowns under the current membership.
+    fn job_slowdowns(&self) -> Vec<f64> {
+        match self.mode {
+            SharingMode::TimeShared => vec![1.0; self.running.len()],
+            SharingMode::Mps => {
+                let shares: Vec<f64> = self
+                    .running
+                    .iter()
+                    .map(|r| self.fbr_share(&r.spec))
+                    .collect();
+                let total: f64 = shares.iter().sum();
+                let n = self.running.len();
+                shares
+                    .into_iter()
+                    .map(|s| Self::slowdown_of_share(s, total, n))
+                    .collect()
+            }
+        }
+    }
+
+    fn after_membership_change(&mut self, now: SimTime) {
+        self.generation += 1;
+        self.busy
+            .set_level(now, if self.running.is_empty() { 0.0 } else { 1.0 });
+        self.mem.set_level(now, self.mem_used_gb());
+    }
+
+    /// Current completion projections for all resident jobs.
+    pub fn project_completions(&self, now: SimTime) -> Vec<Completion> {
+        let slowdowns = self.job_slowdowns();
+        self.running
+            .iter()
+            .zip(slowdowns)
+            .map(|(r, sd)| Completion {
+                job: r.spec.id,
+                at: now + SimDuration::from_micros((r.remaining_us * sd).ceil() as u64),
+                generation: self.generation,
+            })
+            .collect()
+    }
+
+    /// Fraction of observed time the slice had at least one resident job.
+    pub fn busy_fraction(&self, now: SimTime) -> f64 {
+        self.busy.mean(now)
+    }
+
+    /// Total busy time in seconds (`∫ busy dt`) up to `now`.
+    pub fn busy_integral_secs(&self, now: SimTime) -> f64 {
+        self.busy.integral(now)
+    }
+
+    /// Total memory occupancy integral in GB·seconds up to `now`.
+    pub fn mem_integral_gb_secs(&self, now: SimTime) -> f64 {
+        self.mem.integral(now)
+    }
+
+    /// Time-averaged memory occupancy in GB.
+    pub fn mean_mem_gb(&self, now: SimTime) -> f64 {
+        self.mem.mean(now)
+    }
+}
+
+/// A FIFO queue of jobs waiting for a slice, with deterministic ordering.
+/// Provided here because every scheme needs per-slice wait queues; the
+/// queue itself is policy-free (schemes reorder before enqueueing).
+#[derive(Debug, Clone, Default)]
+pub struct WaitQueue {
+    jobs: VecDeque<JobSpec>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        WaitQueue::default()
+    }
+
+    /// Appends a job at the back.
+    pub fn push_back(&mut self, spec: JobSpec) {
+        self.jobs.push_back(spec);
+    }
+
+    /// Inserts a job at the front (used by strict-priority reordering).
+    pub fn push_front(&mut self, spec: JobSpec) {
+        self.jobs.push_front(spec);
+    }
+
+    /// Removes and returns the frontmost job.
+    pub fn pop_front(&mut self) -> Option<JobSpec> {
+        self.jobs.pop_front()
+    }
+
+    /// The frontmost job without removing it.
+    pub fn front(&self) -> Option<&JobSpec> {
+        self.jobs.front()
+    }
+
+    /// Number of waiting jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Iterates over waiting jobs front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &JobSpec> {
+        self.jobs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec(id: u64, solo_ms: f64, fbr: f64, mem: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            solo: SimDuration::from_millis(solo_ms),
+            fbr,
+            mem_gb: mem,
+        }
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    /// Completion instants are ceiled onto the microsecond clock, so
+    /// float noise can land them 1 us late.
+    fn assert_close(actual: SimTime, expected_ms: f64) {
+        let expected = SimTime::from_millis(expected_ms);
+        assert!(
+            actual.saturating_since(expected) <= SimDuration::from_micros(2)
+                && expected.saturating_since(actual) <= SimDuration::from_micros(2),
+            "got {actual:?}, expected ~{expected:?}"
+        );
+    }
+
+    #[test]
+    fn solo_job_finishes_after_solo_time() {
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        let completions = s.admit(SimTime::ZERO, spec(1, 100.0, 0.3, 4.0)).unwrap();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].at, SimTime::from_millis(100.0));
+        let (done, rest) = s.finish(completions[0].at, JobId(1)).unwrap();
+        assert_eq!(done.spec.id, JobId(1));
+        assert!(rest.is_empty());
+        assert!(s.is_idle());
+        assert_eq!(s.completed_jobs(), 1);
+    }
+
+    #[test]
+    fn two_saturating_jobs_slow_each_other() {
+        // Two jobs with FBR 0.8 on 7g: slowdown = 1.6.
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.8, 4.0)).unwrap();
+        let completions = s.admit(SimTime::ZERO, spec(2, 100.0, 0.8, 4.0)).unwrap();
+        assert_eq!(completions.len(), 2);
+        for c in &completions {
+            // Bandwidth term 1.6 plus one co-runner's cache penalty.
+            assert_close(c.at, 170.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_scales_with_slice() {
+        // A 0.3-FBR job consumes 0.6 of a 3g slice's bandwidth (4/8).
+        let mut s = Slice::new(SliceProfile::G3, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.3, 4.0)).unwrap();
+        assert!((s.current_slowdown() - 1.0).abs() < 1e-12);
+        s.admit(SimTime::ZERO, spec(2, 100.0, 0.3, 4.0)).unwrap();
+        // 1.2 bandwidth + 0.1 cache penalty for the second co-runner.
+        assert!((s.current_slowdown() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        // Job 1: FBR 0.9, job 2: FBR 0.9 on 7g. Slowdown 1.8 while both
+        // run. Job 1 admitted at t=0, job 2 at t=0; both solo 100ms.
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.9, 4.0)).unwrap();
+        let c = s.admit(SimTime::ZERO, spec(2, 100.0, 0.9, 4.0)).unwrap();
+        // Bandwidth term 1.8 plus one co-runner's 0.1 cache penalty
+        // (completions are ceiled onto the microsecond clock).
+        let eta = c[0].at;
+        assert!(eta.saturating_since(SimTime::from_millis(190.0)) <= SimDuration::from_micros(2));
+        // Finish job 1 at its projected completion; job 2 is also done.
+        let (_, rest) = s.finish(eta, JobId(1)).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert!(rest[0].at.saturating_since(eta) <= SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn late_arrival_stretches_early_job() {
+        // Job 1 runs alone (FBR 0.8) for 50ms (half done), then job 2
+        // (FBR 0.8) arrives: slowdown 1.6 + 0.1 cache penalty, so the
+        // remaining 50ms of work takes 85ms. Total: 135ms.
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.8, 4.0)).unwrap();
+        let c = s
+            .admit(SimTime::from_millis(50.0), spec(2, 100.0, 0.8, 4.0))
+            .unwrap();
+        let j1 = c.iter().find(|c| c.job == JobId(1)).unwrap();
+        assert_close(j1.at, 135.0);
+        let j2 = c.iter().find(|c| c.job == JobId(2)).unwrap();
+        assert_close(j2.at, 220.0);
+    }
+
+    #[test]
+    fn memory_admission_control() {
+        let mut s = Slice::new(SliceProfile::G1, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.1, 4.0)).unwrap();
+        let err = s
+            .admit(SimTime::ZERO, spec(2, 100.0, 0.1, 2.0))
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::OutOfMemory { .. }));
+        assert_eq!(s.mem_available_gb(), 1.0);
+    }
+
+    #[test]
+    fn time_shared_slice_rejects_second_job() {
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::TimeShared, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.9, 4.0)).unwrap();
+        assert_eq!(
+            s.admit(SimTime::ZERO, spec(2, 100.0, 0.9, 4.0)),
+            Err(AdmitError::Busy)
+        );
+        // No interference in time-shared mode regardless of FBR.
+        assert_eq!(s.current_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_job_rejected() {
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.1, 1.0)).unwrap();
+        assert_eq!(
+            s.admit(SimTime::ZERO, spec(1, 50.0, 0.1, 1.0)),
+            Err(AdmitError::DuplicateJob(JobId(1)))
+        );
+    }
+
+    #[test]
+    fn stale_finish_is_rejected() {
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.9, 4.0)).unwrap();
+        // Try to finish long before the job is done.
+        assert_eq!(
+            s.finish(SimTime::from_millis(10.0), JobId(1)),
+            Err(FinishError::NotDone(JobId(1)))
+        );
+        assert_eq!(
+            s.finish(SimTime::from_millis(10.0), JobId(2)),
+            Err(FinishError::UnknownJob(JobId(2)))
+        );
+    }
+
+    #[test]
+    fn generation_increments_on_membership_changes() {
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        let g0 = s.generation();
+        let c = s.admit(SimTime::ZERO, spec(1, 100.0, 0.2, 1.0)).unwrap();
+        assert_eq!(c[0].generation, g0 + 1);
+        s.finish(c[0].at, JobId(1)).unwrap();
+        assert_eq!(s.generation(), g0 + 2);
+    }
+
+    #[test]
+    fn busy_fraction_tracks_occupancy() {
+        let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+        let c = s.admit(SimTime::ZERO, spec(1, 100.0, 0.2, 1.0)).unwrap();
+        s.finish(c[0].at, JobId(1)).unwrap();
+        // Busy 100ms out of 200ms observed.
+        assert!((s.busy_fraction(SimTime::from_millis(200.0)) - 0.5).abs() < 1e-9);
+        // Memory: 1 GB for half the window.
+        assert!((s.mean_mem_gb(SimTime::from_millis(200.0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projected_slowdown_previews_extra_job() {
+        let mut s = Slice::new(SliceProfile::G3, SharingMode::Mps, SimTime::ZERO);
+        s.admit(SimTime::ZERO, spec(1, 100.0, 0.3, 1.0)).unwrap();
+        // 0.3/0.5 resident + 0.25/0.5 extra = 1.1, plus one co-runner's
+        // cache penalty.
+        assert!((s.projected_slowdown(0.25) - 1.2).abs() < 1e-12);
+        // Preview does not mutate.
+        assert!((s.current_slowdown() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_queue_fifo_and_priority_front() {
+        let mut q = WaitQueue::new();
+        q.push_back(spec(1, 1.0, 0.1, 1.0));
+        q.push_back(spec(2, 1.0, 0.1, 1.0));
+        q.push_front(spec(3, 1.0, 0.1, 1.0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_front().unwrap().id, JobId(3));
+        assert_eq!(q.front().unwrap().id, JobId(1));
+        assert_eq!(q.iter().count(), 2);
+        assert!(!q.is_empty());
+    }
+
+    proptest! {
+        /// Conservation of work: however arrivals interleave, each job's
+        /// total processor-sharing time is at least its solo time, and
+        /// jobs complete exactly when their projections say.
+        #[test]
+        fn prop_completions_are_consistent(
+            solos in proptest::collection::vec(10.0f64..200.0, 1..6),
+            fbrs in proptest::collection::vec(0.05f64..0.9, 6),
+            gaps in proptest::collection::vec(0.0f64..80.0, 6),
+        ) {
+            let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
+            let mut admitted_at = std::collections::HashMap::new();
+            let mut clock = SimTime::ZERO;
+            let mut projections: std::collections::HashMap<JobId, SimTime> = Default::default();
+            for (i, &solo) in solos.iter().enumerate() {
+                clock += SimDuration::from_millis(gaps[i]);
+                let sp = spec(i as u64, solo, fbrs[i], 1.0);
+                let cs = s.admit(clock, sp).unwrap();
+                admitted_at.insert(sp.id, clock);
+                projections.clear();
+                for c in cs {
+                    projections.insert(c.job, c.at);
+                }
+            }
+            // Drain jobs in projected order, refreshing projections after
+            // each finish (they may only move earlier or stay).
+            while !s.is_idle() {
+                let (&job, &at) = projections.iter().min_by_key(|(_, &at)| at).unwrap();
+                let (done, rest) = s.finish(at, job).unwrap();
+                let held = at - admitted_at[&job];
+                // Processor sharing can only stretch a job.
+                prop_assert!(held.as_micros() + 1 >= done.spec.solo.as_micros(),
+                    "job finished faster than solo: {held:?} < {:?}", done.spec.solo);
+                projections.clear();
+                for c in rest {
+                    projections.insert(c.job, c.at);
+                }
+            }
+            prop_assert_eq!(s.completed_jobs(), solos.len() as u64);
+        }
+    }
+}

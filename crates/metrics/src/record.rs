@@ -1,0 +1,409 @@
+//! Per-request records and aggregate summaries.
+
+use protean_models::ModelId;
+use protean_sim::{SimDuration, SimTime};
+
+use crate::stats::percentile;
+
+/// Where a completed request's end-to-end latency went, in milliseconds.
+///
+/// The components mirror the stacked bars in Figs. 2, 6 and 11:
+/// `min_exec` is the batch's solo time on the full GPU (`7g`) — the
+/// floor no scheme can beat — `deficiency` the extra solo time due to
+/// running on a smaller MIG slice, `interference` the further stretch
+/// from MPS co-location, `queueing` all time between arrival and
+/// execution start (batch assembly + waiting for containers/slices), and
+/// `cold_start` container boot time on the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Solo execution on `7g`, ms ("min possible time").
+    pub min_exec_ms: f64,
+    /// Extra solo time from the slice's reduced resources, ms.
+    pub deficiency_ms: f64,
+    /// Extra time from MPS co-location (Eq. 1), ms.
+    pub interference_ms: f64,
+    /// Waiting before execution began, ms.
+    pub queueing_ms: f64,
+    /// Container cold-start on the critical path, ms.
+    pub cold_start_ms: f64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all components, ms. Equals the end-to-end latency of the
+    /// request (up to clock rounding).
+    pub fn total_ms(&self) -> f64 {
+        self.min_exec_ms
+            + self.deficiency_ms
+            + self.interference_ms
+            + self.queueing_ms
+            + self.cold_start_ms
+    }
+}
+
+/// A completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// The model the request invoked.
+    pub model: ModelId,
+    /// Whether the request carried a strict SLO.
+    pub strict: bool,
+    /// Arrival at the gateway.
+    pub arrival: SimTime,
+    /// Completion of its batch.
+    pub completion: SimTime,
+    /// Where the latency went.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl RequestRecord {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completion.saturating_since(self.arrival)
+    }
+}
+
+/// A growing collection of request records with the aggregations used by
+/// every experiment.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSet {
+    records: Vec<RequestRecord>,
+}
+
+/// Which request class an aggregation ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Only strict requests.
+    Strict,
+    /// Only best-effort requests.
+    BestEffort,
+    /// All requests.
+    All,
+}
+
+impl MetricsSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MetricsSet::default()
+    }
+
+    /// Records a completed request.
+    pub fn push(&mut self, record: RequestRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in completion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Number of records in `class`.
+    pub fn count(&self, class: Class) -> usize {
+        self.iter_class(class).count()
+    }
+
+    fn iter_class(&self, class: Class) -> impl Iterator<Item = &RequestRecord> {
+        self.records.iter().filter(move |r| match class {
+            Class::Strict => r.strict,
+            Class::BestEffort => !r.strict,
+            Class::All => true,
+        })
+    }
+
+    /// Latencies in milliseconds for `class`, unsorted.
+    pub fn latencies_ms(&self, class: Class) -> Vec<f64> {
+        self.iter_class(class)
+            .map(|r| r.latency().as_millis_f64())
+            .collect()
+    }
+
+    /// Fraction of **strict** requests whose latency met their
+    /// per-model SLO (the paper's headline "SLO compliance"). Returns 1.0
+    /// for an empty strict set.
+    pub fn slo_compliance(&self, slo: &dyn Fn(ModelId) -> SimDuration) -> f64 {
+        let mut total = 0usize;
+        let mut met = 0usize;
+        for r in self.iter_class(Class::Strict) {
+            total += 1;
+            if r.latency() <= slo(r.model) {
+                met += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            met as f64 / total as f64
+        }
+    }
+
+    /// The `q`-quantile latency (ms) for `class`; `None` if empty.
+    pub fn latency_percentile_ms(&self, class: Class, q: f64) -> Option<f64> {
+        let lats = self.latencies_ms(class);
+        if lats.is_empty() {
+            None
+        } else {
+            Some(percentile(&lats, q))
+        }
+    }
+
+    /// Mean latency breakdown over the requests of `class` whose latency
+    /// is at or above that class's `q`-quantile — the stacked "tail
+    /// breakdown" of Figs. 2/6/11.
+    pub fn tail_breakdown(&self, class: Class, q: f64) -> Option<LatencyBreakdown> {
+        let cut = self.latency_percentile_ms(class, q)?;
+        let tail: Vec<&RequestRecord> = self
+            .iter_class(class)
+            .filter(|r| r.latency().as_millis_f64() >= cut)
+            .collect();
+        if tail.is_empty() {
+            return None;
+        }
+        let n = tail.len() as f64;
+        let mut b = LatencyBreakdown::default();
+        for r in tail {
+            b.min_exec_ms += r.breakdown.min_exec_ms;
+            b.deficiency_ms += r.breakdown.deficiency_ms;
+            b.interference_ms += r.breakdown.interference_ms;
+            b.queueing_ms += r.breakdown.queueing_ms;
+            b.cold_start_ms += r.breakdown.cold_start_ms;
+        }
+        b.min_exec_ms /= n;
+        b.deficiency_ms /= n;
+        b.interference_ms /= n;
+        b.queueing_ms /= n;
+        b.cold_start_ms /= n;
+        Some(b)
+    }
+
+    /// The latency CDF for `class`: `points` evenly spaced quantiles as
+    /// `(latency_ms, cumulative_fraction)` pairs (Fig. 8).
+    pub fn latency_cdf(&self, class: Class, points: usize) -> Vec<(f64, f64)> {
+        let mut lats = self.latencies_ms(class);
+        if lats.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((lats.len() as f64 * frac).ceil() as usize - 1).min(lats.len() - 1);
+                (lats[idx], frac)
+            })
+            .collect()
+    }
+
+    /// Completed requests of `class` per GPU per second — the paper's
+    /// throughput metric (Fig. 10a uses strict requests).
+    pub fn throughput_per_gpu(&self, class: Class, duration: SimDuration, gpus: usize) -> f64 {
+        if duration.is_zero() || gpus == 0 {
+            return 0.0;
+        }
+        self.count(class) as f64 / duration.as_secs_f64() / gpus as f64
+    }
+
+    /// A compact summary for tables.
+    pub fn summary(&self, slo: &dyn Fn(ModelId) -> SimDuration) -> Summary {
+        Summary {
+            total: self.count(Class::All),
+            strict: self.count(Class::Strict),
+            slo_compliance: self.slo_compliance(slo),
+            strict_p50_ms: self
+                .latency_percentile_ms(Class::Strict, 0.50)
+                .unwrap_or(0.0),
+            strict_p99_ms: self
+                .latency_percentile_ms(Class::Strict, 0.99)
+                .unwrap_or(0.0),
+            be_p50_ms: self
+                .latency_percentile_ms(Class::BestEffort, 0.50)
+                .unwrap_or(0.0),
+            be_p99_ms: self
+                .latency_percentile_ms(Class::BestEffort, 0.99)
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+impl MetricsSet {
+    /// Per-model summaries, in `ModelId::ALL` order, covering only the
+    /// models with at least one record. Used by multi-model reports.
+    pub fn per_model_summaries(
+        &self,
+        slo: &dyn Fn(ModelId) -> SimDuration,
+    ) -> Vec<(ModelId, Summary)> {
+        let mut out = Vec::new();
+        for model in ModelId::ALL {
+            let subset: Vec<&RequestRecord> =
+                self.records.iter().filter(|r| r.model == model).collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let mut m = MetricsSet::new();
+            for r in subset {
+                m.push(*r);
+            }
+            out.push((model, m.summary(slo)));
+        }
+        out
+    }
+}
+
+/// Headline numbers for one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total completed requests.
+    pub total: usize,
+    /// Completed strict requests.
+    pub strict: usize,
+    /// Fraction of strict requests meeting their SLO.
+    pub slo_compliance: f64,
+    /// Strict median latency, ms.
+    pub strict_p50_ms: f64,
+    /// Strict P99 latency, ms.
+    pub strict_p99_ms: f64,
+    /// Best-effort median latency, ms.
+    pub be_p50_ms: f64,
+    /// Best-effort P99 latency, ms.
+    pub be_p99_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(strict: bool, lat_ms: f64) -> RequestRecord {
+        RequestRecord {
+            model: ModelId::ResNet50,
+            strict,
+            arrival: SimTime::ZERO,
+            completion: SimTime::from_millis(lat_ms),
+            breakdown: LatencyBreakdown {
+                min_exec_ms: lat_ms / 2.0,
+                deficiency_ms: lat_ms / 4.0,
+                interference_ms: lat_ms / 8.0,
+                queueing_ms: lat_ms / 8.0,
+                cold_start_ms: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn slo_compliance_counts_only_strict() {
+        let mut m = MetricsSet::new();
+        m.push(rec(true, 100.0));
+        m.push(rec(true, 400.0));
+        m.push(rec(false, 10_000.0)); // BE never counts
+        let slo = |_| SimDuration::from_millis(285.0);
+        assert_eq!(m.slo_compliance(&slo), 0.5);
+        assert_eq!(m.count(Class::Strict), 2);
+        assert_eq!(m.count(Class::BestEffort), 1);
+    }
+
+    #[test]
+    fn empty_strict_set_is_fully_compliant() {
+        let m = MetricsSet::new();
+        assert_eq!(m.slo_compliance(&|_| SimDuration::ZERO), 1.0);
+        assert_eq!(m.latency_percentile_ms(Class::Strict, 0.99), None);
+    }
+
+    #[test]
+    fn percentiles_split_by_class() {
+        let mut m = MetricsSet::new();
+        for i in 1..=100 {
+            m.push(rec(true, i as f64));
+            m.push(rec(false, 10.0 * i as f64));
+        }
+        let strict_p50 = m.latency_percentile_ms(Class::Strict, 0.5).unwrap();
+        let be_p50 = m.latency_percentile_ms(Class::BestEffort, 0.5).unwrap();
+        assert!((strict_p50 - 50.0).abs() <= 1.0);
+        assert!((be_p50 - 500.0).abs() <= 10.0);
+    }
+
+    #[test]
+    fn tail_breakdown_averages_tail_set() {
+        let mut m = MetricsSet::new();
+        for i in 1..=100 {
+            m.push(rec(true, i as f64));
+        }
+        let b = m.tail_breakdown(Class::Strict, 0.99).unwrap();
+        // The tail set is requests >= p99 (~99, 100): mean total ≈ 99.5.
+        assert!((b.total_ms() - 99.5).abs() < 1.0, "total {}", b.total_ms());
+        assert!(b.min_exec_ms > b.interference_ms);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_max() {
+        let mut m = MetricsSet::new();
+        for i in 1..=50 {
+            m.push(rec(true, i as f64));
+        }
+        let cdf = m.latency_cdf(Class::Strict, 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, 50.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn throughput_normalises_by_gpus_and_time() {
+        let mut m = MetricsSet::new();
+        for _ in 0..800 {
+            m.push(rec(true, 10.0));
+        }
+        let thr = m.throughput_per_gpu(Class::Strict, SimDuration::from_secs(10.0), 8);
+        assert_eq!(thr, 10.0);
+        assert_eq!(
+            m.throughput_per_gpu(Class::Strict, SimDuration::ZERO, 8),
+            0.0
+        );
+    }
+
+    #[test]
+    fn summary_contains_consistent_numbers() {
+        let mut m = MetricsSet::new();
+        m.push(rec(true, 100.0));
+        m.push(rec(false, 200.0));
+        let s = m.summary(&|_| SimDuration::from_millis(150.0));
+        assert_eq!(s.total, 2);
+        assert_eq!(s.strict, 1);
+        assert_eq!(s.slo_compliance, 1.0);
+        assert_eq!(s.strict_p50_ms, 100.0);
+        assert_eq!(s.be_p99_ms, 200.0);
+    }
+
+    #[test]
+    fn per_model_summaries_partition_the_records() {
+        let mut m = MetricsSet::new();
+        for i in 1..=10 {
+            m.push(rec(true, i as f64));
+        }
+        let mut other = rec(false, 500.0);
+        other.model = ModelId::MobileNet;
+        m.push(other);
+        let slo = |_| SimDuration::from_millis(5.0);
+        let per_model = m.per_model_summaries(&slo);
+        assert_eq!(per_model.len(), 2);
+        let total: usize = per_model.iter().map(|(_, s)| s.total).sum();
+        assert_eq!(total, m.count(Class::All));
+        let (resnet, s) = per_model[0];
+        assert_eq!(resnet, ModelId::ResNet50);
+        assert_eq!(s.strict, 10);
+        assert_eq!(s.slo_compliance, 0.5);
+        let (mobile, s) = per_model[1];
+        assert_eq!(mobile, ModelId::MobileNet);
+        assert_eq!(s.be_p99_ms, 500.0);
+    }
+
+    #[test]
+    fn breakdown_total_matches_components() {
+        let b = LatencyBreakdown {
+            min_exec_ms: 50.0,
+            deficiency_ms: 10.0,
+            interference_ms: 20.0,
+            queueing_ms: 15.0,
+            cold_start_ms: 5.0,
+        };
+        assert_eq!(b.total_ms(), 100.0);
+    }
+}

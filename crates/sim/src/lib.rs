@@ -1,0 +1,42 @@
+//! Discrete-event simulation (DES) engine for the PROTEAN reproduction.
+//!
+//! This crate provides the deterministic foundations every other crate in
+//! the workspace builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulated
+//!   clock with saturating arithmetic and convenient conversions.
+//! * [`EventQueue`] — a stable priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking for events scheduled at the same
+//!   instant.
+//! * [`rng`] — seeded, labelled random-number streams so that independent
+//!   stochastic processes (arrivals, evictions, model rotation, …) can be
+//!   re-run bit-for-bit identically and varied independently.
+//! * [`TimeSeries`] / [`Accumulator`] — small utilities for integrating
+//!   quantities over simulated time (GPU busy time, memory occupancy,
+//!   dollar cost).
+//!
+//! # Example
+//!
+//! ```
+//! use protean_sim::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Tick, Tock }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_secs(2.0), Ev::Tock);
+//! q.push(SimTime::from_secs(1.0), Ev::Tick);
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! assert_eq!(ev, Ev::Tick);
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{RngFactory, SimRng};
+pub use series::{Accumulator, TimeSeries};
+pub use time::{SimDuration, SimTime};

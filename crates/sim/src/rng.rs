@@ -1,0 +1,255 @@
+//! Seeded, labelled random-number streams.
+//!
+//! A simulation has many independent stochastic processes: request
+//! arrivals, best-effort model rotation, spot-market evictions, … Giving
+//! each process its own stream — derived deterministically from a root
+//! seed and a label — means changing how many random numbers one process
+//! draws does not perturb any other process, which keeps experiments
+//! comparable across schemes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives independent [`SimRng`] streams from a root seed.
+///
+/// # Example
+///
+/// ```
+/// use protean_sim::RngFactory;
+/// let factory = RngFactory::new(42);
+/// let mut arrivals = factory.stream("arrivals");
+/// let mut evictions = factory.stream("evictions");
+/// // Independent streams: identical labels reproduce identical sequences.
+/// let a1: f64 = arrivals.uniform();
+/// let mut arrivals2 = factory.stream("arrivals");
+/// assert_eq!(a1, arrivals2.uniform());
+/// let e1: f64 = evictions.uniform();
+/// assert_ne!(a1, e1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RngFactory {
+    seed: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        RngFactory { seed }
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Creates the stream identified by `label`. The same `(seed, label)`
+    /// pair always yields the same sequence.
+    pub fn stream(&self, label: &str) -> SimRng {
+        SimRng::from_seed_and_label(self.seed, label)
+    }
+
+    /// Creates the stream identified by `label` and an index, for families
+    /// of streams such as one per worker node.
+    pub fn indexed_stream(&self, label: &str, index: u64) -> SimRng {
+        let combined =
+            splitmix64(fnv1a(label.as_bytes()) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SimRng {
+            inner: SmallRng::seed_from_u64(splitmix64(self.seed ^ combined)),
+        }
+    }
+}
+
+/// A deterministic random stream with convenience samplers used across
+/// the simulation.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    fn from_seed_and_label(seed: u64, label: &str) -> Self {
+        let mixed = splitmix64(seed ^ fnv1a(label.as_bytes()));
+        SimRng {
+            inner: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// An exponentially distributed sample with the given `rate`
+    /// (mean `1/rate`), used for Poisson inter-arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / rate
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let f = RngFactory::new(7);
+        let a: Vec<f64> = {
+            let mut s = f.stream("x");
+            (0..16).map(|_| s.uniform()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = f.stream("x");
+            (0..16).map(|_| s.uniform()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_with_different_labels_differ() {
+        let f = RngFactory::new(7);
+        let a: Vec<f64> = {
+            let mut s = f.stream("x");
+            (0..4).map(|_| s.uniform()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = f.stream("y");
+            (0..4).map(|_| s.uniform()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let f = RngFactory::new(7);
+        let mut a = f.indexed_stream("worker", 0);
+        let mut b = f.indexed_stream("worker", 1);
+        assert_ne!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn exponential_has_expected_mean() {
+        let f = RngFactory::new(99);
+        let mut s = f.stream("exp");
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| s.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let f = RngFactory::new(3);
+        let mut s = f.stream("c");
+        assert!(!s.chance(0.0));
+        assert!(s.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(s.chance(2.0));
+        assert!(!s.chance(-1.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let f = RngFactory::new(11);
+        let mut s = f.stream("n");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance was {var}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_range_in_bounds(lo in -100.0f64..100.0, width in 0.001f64..50.0, seed in 0u64..1000) {
+            let mut s = RngFactory::new(seed).stream("ur");
+            let hi = lo + width;
+            for _ in 0..32 {
+                let x = s.uniform_range(lo, hi);
+                prop_assert!(x >= lo && x < hi);
+            }
+        }
+
+        #[test]
+        fn prop_index_in_bounds(n in 1usize..1000, seed in 0u64..1000) {
+            let mut s = RngFactory::new(seed).stream("idx");
+            for _ in 0..32 {
+                prop_assert!(s.index(n) < n);
+            }
+        }
+    }
+}

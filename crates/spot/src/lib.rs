@@ -1,0 +1,504 @@
+//! Spot-market emulation and cost accounting (paper §2.3, §4.5, §5).
+//!
+//! The paper itself *emulates* the spot/on-demand worker aspect: it
+//! projects dollar cost from VM running time at average AWS prices and
+//! generates revocation notifications at fixed intervals with a
+//! revocation probability `P_rev` derived from Narayanan et al.:
+//!
+//! * high spot availability: `P_rev = 0`
+//! * moderate availability: `P_rev = 0.354`
+//! * low availability: `P_rev = 0.708`
+//!
+//! Eviction notices arrive 30–120 s before the VM is reclaimed, which is
+//! what makes the hybrid scheme viable: GPU serverless batches run <1 s,
+//! so in-flight work drains comfortably inside the notice window while a
+//! replacement VM (spot if available, otherwise on-demand) spins up.
+//!
+//! This crate reproduces that emulation: [`PricingTable`] carries the
+//! paper's Table 3 prices, [`SpotMarket`] drives revocations and spot
+//! acquisition, [`ProcurementPolicy`] captures the three strategies
+//! compared in Fig. 9, and [`VmLedger`] integrates dollar cost.
+//!
+//! # Example
+//!
+//! ```
+//! use protean_spot::{PricingTable, Provider, SpotAvailability, VmTier};
+//!
+//! let table = PricingTable::paper_table3();
+//! let aws = table.price(Provider::Aws, VmTier::Spot);
+//! assert!((aws - 9.8318).abs() < 1e-4);
+//! assert!(table.savings(Provider::Gcp) > 0.70);
+//! assert_eq!(SpotAvailability::Low.revocation_probability(), 0.708);
+//! ```
+
+use std::fmt;
+
+use protean_sim::{SimDuration, SimRng, SimTime};
+
+/// The three IaaS providers of Table 3 (by market share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provider {
+    /// Amazon Web Services.
+    Aws,
+    /// Microsoft Azure.
+    Azure,
+    /// Google Cloud.
+    Gcp,
+}
+
+impl Provider {
+    /// All providers in Table 3 order.
+    pub const ALL: [Provider; 3] = [Provider::Aws, Provider::Azure, Provider::Gcp];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Provider::Aws => "AWS",
+            Provider::Azure => "Microsoft Azure",
+            Provider::Gcp => "Google Cloud",
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// VM reliability tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmTier {
+    /// Reliable, full-price VM.
+    OnDemand,
+    /// Discounted, revocable VM.
+    Spot,
+}
+
+impl fmt::Display for VmTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VmTier::OnDemand => "on-demand",
+            VmTier::Spot => "spot",
+        })
+    }
+}
+
+/// Hourly prices (USD) for an 8×A100 instance, per provider and tier —
+/// the paper's Table 3 (averaged across US-east/west).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingTable {
+    rows: [(Provider, f64, f64); 3],
+}
+
+impl PricingTable {
+    /// The exact Table 3 numbers.
+    pub fn paper_table3() -> Self {
+        PricingTable {
+            rows: [
+                (Provider::Aws, 32.7726, 9.8318),
+                (Provider::Azure, 32.7700, 18.0235),
+                (Provider::Gcp, 30.0846, 8.8147),
+            ],
+        }
+    }
+
+    /// Hourly price of a full 8×A100 instance.
+    pub fn price(&self, provider: Provider, tier: VmTier) -> f64 {
+        let row = self
+            .rows
+            .iter()
+            .find(|(p, _, _)| *p == provider)
+            .expect("all providers present");
+        match tier {
+            VmTier::OnDemand => row.1,
+            VmTier::Spot => row.2,
+        }
+    }
+
+    /// Hourly price of one single-GPU worker VM (the paper's cluster has
+    /// one A100 per worker node; we apportion the 8×A100 instance price).
+    pub fn worker_price(&self, provider: Provider, tier: VmTier) -> f64 {
+        self.price(provider, tier) / 8.0
+    }
+
+    /// Fractional saving of spot over on-demand for `provider`
+    /// (Table 3's "Cost Savings" column).
+    pub fn savings(&self, provider: Provider) -> f64 {
+        1.0 - self.price(provider, VmTier::Spot) / self.price(provider, VmTier::OnDemand)
+    }
+}
+
+/// Spot-market availability regimes (§5), with `P_rev` values from
+/// Narayanan et al.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpotAvailability {
+    /// High availability: never revoked.
+    High,
+    /// Moderate availability.
+    Moderate,
+    /// Low availability.
+    Low,
+}
+
+impl SpotAvailability {
+    /// The revocation probability applied at each check interval.
+    pub fn revocation_probability(self) -> f64 {
+        match self {
+            SpotAvailability::High => 0.0,
+            SpotAvailability::Moderate => 0.354,
+            SpotAvailability::Low => 0.708,
+        }
+    }
+
+    /// Probability a fresh spot request is granted. Revocation pressure
+    /// and scarcity move together: when the provider is reclaiming spot
+    /// capacity it is also not granting new spot requests, so we model
+    /// grant probability as the complement of `P_rev`.
+    pub fn acquisition_probability(self) -> f64 {
+        1.0 - self.revocation_probability()
+    }
+
+    /// Display name used in Fig. 9.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpotAvailability::High => "high",
+            SpotAvailability::Moderate => "medium",
+            SpotAvailability::Low => "low",
+        }
+    }
+}
+
+impl fmt::Display for SpotAvailability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The procurement strategies compared in Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcurementPolicy {
+    /// Only reliable VMs (what the comparison schemes use).
+    OnDemandOnly,
+    /// Only spot VMs; workers lost to eviction are replaced only when
+    /// the spot market grants a new VM (the `Spot Only` variant).
+    SpotOnly,
+    /// PROTEAN's policy: prefer spot, fall back to on-demand when the
+    /// spot request fails.
+    Hybrid,
+}
+
+impl ProcurementPolicy {
+    /// Decides the tier of a replacement VM given whether the spot
+    /// market granted the request. `None` means no VM can be acquired
+    /// now (Spot-only under scarcity) and the caller should retry later.
+    pub fn replacement_tier(self, spot_granted: bool) -> Option<VmTier> {
+        match self {
+            ProcurementPolicy::OnDemandOnly => Some(VmTier::OnDemand),
+            ProcurementPolicy::SpotOnly => spot_granted.then_some(VmTier::Spot),
+            ProcurementPolicy::Hybrid => Some(if spot_granted {
+                VmTier::Spot
+            } else {
+                VmTier::OnDemand
+            }),
+        }
+    }
+
+    /// The tier this policy provisions initially (before any eviction).
+    pub fn initial_tier(self) -> VmTier {
+        match self {
+            ProcurementPolicy::OnDemandOnly => VmTier::OnDemand,
+            ProcurementPolicy::SpotOnly | ProcurementPolicy::Hybrid => VmTier::Spot,
+        }
+    }
+}
+
+/// Default interval between revocation checks per spot VM (§5: notices
+/// are generated "at fixed time intervals").
+pub const DEFAULT_REVOCATION_CHECK: SimDuration = SimDuration::from_micros(60_000_000);
+
+/// Default delay between acquiring a VM and it serving traffic.
+pub const DEFAULT_VM_STARTUP: SimDuration = SimDuration::from_micros(30_000_000);
+
+/// The spot market: drives revocation notices and spot-request grants.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    availability: SpotAvailability,
+    rng: SimRng,
+    notice_min: SimDuration,
+    notice_max: SimDuration,
+}
+
+impl SpotMarket {
+    /// Creates a market under the given availability regime, drawing
+    /// randomness from `rng`.
+    pub fn new(availability: SpotAvailability, rng: SimRng) -> Self {
+        SpotMarket {
+            availability,
+            rng,
+            notice_min: SimDuration::from_secs(30.0),
+            notice_max: SimDuration::from_secs(120.0),
+        }
+    }
+
+    /// The market's availability regime.
+    pub fn availability(&self) -> SpotAvailability {
+        self.availability
+    }
+
+    /// Rolls one revocation check for a running spot VM. `Some(lead)`
+    /// means an eviction notice fires now and the VM is reclaimed after
+    /// `lead` (uniform in the providers' 30–120 s band).
+    pub fn roll_revocation(&mut self) -> Option<SimDuration> {
+        if self.rng.chance(self.availability.revocation_probability()) {
+            let lead = self
+                .rng
+                .uniform_range(self.notice_min.as_secs_f64(), self.notice_max.as_secs_f64());
+            Some(SimDuration::from_secs(lead))
+        } else {
+            None
+        }
+    }
+
+    /// Rolls one spot acquisition request.
+    pub fn try_acquire_spot(&mut self) -> bool {
+        self.rng.chance(self.availability.acquisition_probability())
+    }
+}
+
+/// Identifier of a VM in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LedgerEntry {
+    vm: VmId,
+    tier: VmTier,
+    started: SimTime,
+    ended: Option<SimTime>,
+}
+
+/// Integrates dollar cost over VM lifetimes, per tier.
+///
+/// # Example
+///
+/// ```
+/// use protean_spot::{PricingTable, Provider, VmLedger, VmId, VmTier};
+/// use protean_sim::SimTime;
+///
+/// let mut ledger = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+/// ledger.open(VmId(0), VmTier::Spot, SimTime::ZERO);
+/// ledger.close(VmId(0), SimTime::from_secs(3600.0));
+/// let cost = ledger.total_cost(SimTime::from_secs(3600.0));
+/// assert!((cost - 9.8318 / 8.0).abs() < 1e-6); // one worker spot-hour
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmLedger {
+    pricing: PricingTable,
+    provider: Provider,
+    entries: Vec<LedgerEntry>,
+    next_id: u64,
+}
+
+impl VmLedger {
+    /// Creates an empty ledger billing at `provider`'s prices.
+    pub fn new(pricing: PricingTable, provider: Provider) -> Self {
+        VmLedger {
+            pricing,
+            provider,
+            entries: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Allocates a fresh [`VmId`].
+    pub fn allocate_id(&mut self) -> VmId {
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Starts billing `vm` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is already open.
+    pub fn open(&mut self, vm: VmId, tier: VmTier, now: SimTime) {
+        assert!(
+            !self.entries.iter().any(|e| e.vm == vm && e.ended.is_none()),
+            "VM {vm:?} is already open"
+        );
+        self.entries.push(LedgerEntry {
+            vm,
+            tier,
+            started: now,
+            ended: None,
+        });
+    }
+
+    /// Stops billing `vm` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` has no open entry.
+    pub fn close(&mut self, vm: VmId, now: SimTime) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.vm == vm && e.ended.is_none())
+            .unwrap_or_else(|| panic!("VM {vm:?} is not open"));
+        entry.ended = Some(now);
+    }
+
+    /// Dollar cost accrued by `tier` VMs up to `now`.
+    pub fn cost_by_tier(&self, tier: VmTier, now: SimTime) -> f64 {
+        let hourly = self.pricing.worker_price(self.provider, tier);
+        self.entries
+            .iter()
+            .filter(|e| e.tier == tier)
+            .map(|e| {
+                let end = e.ended.unwrap_or(now).min(now);
+                end.saturating_since(e.started).as_secs_f64() / 3600.0 * hourly
+            })
+            .sum()
+    }
+
+    /// Total dollar cost up to `now`.
+    pub fn total_cost(&self, now: SimTime) -> f64 {
+        self.cost_by_tier(VmTier::OnDemand, now) + self.cost_by_tier(VmTier::Spot, now)
+    }
+
+    /// Count of currently open VMs.
+    pub fn open_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.ended.is_none()).count()
+    }
+
+    /// Total evicted/closed VM count by tier (for reporting).
+    pub fn closed_count(&self, tier: VmTier) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.tier == tier && e.ended.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use protean_sim::RngFactory;
+
+    #[test]
+    fn table3_savings_match_paper() {
+        let t = PricingTable::paper_table3();
+        assert!((t.savings(Provider::Aws) - 0.6999).abs() < 1e-3);
+        assert!((t.savings(Provider::Azure) - 0.4501).abs() < 1e-3);
+        assert!((t.savings(Provider::Gcp) - 0.7070).abs() < 1e-3);
+    }
+
+    #[test]
+    fn availability_probabilities_match_paper() {
+        assert_eq!(SpotAvailability::High.revocation_probability(), 0.0);
+        assert_eq!(SpotAvailability::Moderate.revocation_probability(), 0.354);
+        assert_eq!(SpotAvailability::Low.revocation_probability(), 0.708);
+        assert!((SpotAvailability::Low.acquisition_probability() - 0.292).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_availability_never_revokes() {
+        let mut m = SpotMarket::new(SpotAvailability::High, RngFactory::new(1).stream("m"));
+        for _ in 0..1000 {
+            assert!(m.roll_revocation().is_none());
+            assert!(m.try_acquire_spot());
+        }
+    }
+
+    #[test]
+    fn low_availability_revokes_and_denies_at_rate() {
+        let mut m = SpotMarket::new(SpotAvailability::Low, RngFactory::new(2).stream("m"));
+        let n = 10_000;
+        let mut revocations = 0;
+        let mut grants = 0;
+        for _ in 0..n {
+            if let Some(lead) = m.roll_revocation() {
+                revocations += 1;
+                let secs = lead.as_secs_f64();
+                assert!((30.0..=120.0).contains(&secs), "lead {secs}");
+            }
+            if m.try_acquire_spot() {
+                grants += 1;
+            }
+        }
+        let rev_rate = revocations as f64 / n as f64;
+        let grant_rate = grants as f64 / n as f64;
+        assert!((rev_rate - 0.708).abs() < 0.02, "rev {rev_rate}");
+        assert!((grant_rate - 0.292).abs() < 0.02, "grant {grant_rate}");
+    }
+
+    #[test]
+    fn policy_replacement_tiers() {
+        use ProcurementPolicy::*;
+        assert_eq!(OnDemandOnly.replacement_tier(true), Some(VmTier::OnDemand));
+        assert_eq!(OnDemandOnly.replacement_tier(false), Some(VmTier::OnDemand));
+        assert_eq!(SpotOnly.replacement_tier(true), Some(VmTier::Spot));
+        assert_eq!(SpotOnly.replacement_tier(false), None);
+        assert_eq!(Hybrid.replacement_tier(true), Some(VmTier::Spot));
+        assert_eq!(Hybrid.replacement_tier(false), Some(VmTier::OnDemand));
+        assert_eq!(OnDemandOnly.initial_tier(), VmTier::OnDemand);
+        assert_eq!(Hybrid.initial_tier(), VmTier::Spot);
+    }
+
+    #[test]
+    fn ledger_bills_open_and_closed_vms() {
+        let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+        let a = l.allocate_id();
+        let b = l.allocate_id();
+        assert_ne!(a, b);
+        l.open(a, VmTier::OnDemand, SimTime::ZERO);
+        l.open(b, VmTier::Spot, SimTime::ZERO);
+        l.close(b, SimTime::from_secs(1800.0));
+        assert_eq!(l.open_count(), 1);
+        assert_eq!(l.closed_count(VmTier::Spot), 1);
+        let now = SimTime::from_secs(3600.0);
+        let od = l.cost_by_tier(VmTier::OnDemand, now);
+        let spot = l.cost_by_tier(VmTier::Spot, now);
+        assert!((od - 32.7726 / 8.0).abs() < 1e-6);
+        assert!((spot - 9.8318 / 16.0).abs() < 1e-6);
+        assert!((l.total_cost(now) - od - spot).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_open_panics() {
+        let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+        l.open(VmId(0), VmTier::Spot, SimTime::ZERO);
+        l.open(VmId(0), VmTier::Spot, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn close_unopened_panics() {
+        let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+        l.close(VmId(3), SimTime::ZERO);
+    }
+
+    proptest! {
+        /// Hybrid policy always produces a replacement; the cost ledger
+        /// is additive and non-negative.
+        #[test]
+        fn prop_ledger_monotone(hours in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+            let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Gcp);
+            let mut t = SimTime::ZERO;
+            for (i, h) in hours.iter().enumerate() {
+                let id = l.allocate_id();
+                let tier = if i % 2 == 0 { VmTier::Spot } else { VmTier::OnDemand };
+                l.open(id, tier, t);
+                t += SimDuration::from_secs(h * 3600.0);
+                l.close(id, t);
+            }
+            let mid = SimTime::from_secs(t.as_secs_f64() / 2.0);
+            prop_assert!(l.total_cost(mid) <= l.total_cost(t) + 1e-9);
+            prop_assert!(l.total_cost(t) >= 0.0);
+        }
+    }
+}

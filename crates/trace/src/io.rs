@@ -1,0 +1,237 @@
+//! Trace serialization: CSV export/import so real request traces (or
+//! traces produced by other tools) can be replayed through the
+//! simulator, and generated traces can be inspected offline.
+//!
+//! Format: a header line `arrival_us,model,strict` followed by one row
+//! per request. Request ids are assigned by row order on import.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use protean_models::ModelId;
+use protean_sim::{SimDuration, SimTime};
+
+use crate::{Request, RequestId, Trace};
+
+/// Error produced while reading a trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse {
+        /// Line number, counting the header as line 1.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            ReadTraceError::Parse { line, reason } => {
+                write!(f, "trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// The CSV header written and expected by this module.
+pub const CSV_HEADER: &str = "arrival_us,model,strict";
+
+impl Trace {
+    /// Writes the trace as CSV. The writer may be passed by `&mut`
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{CSV_HEADER}")?;
+        for r in self.requests() {
+            writeln!(
+                w,
+                "{},{},{}",
+                r.arrival.as_micros(),
+                r.model.slug(),
+                u8::from(r.strict)
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace from CSV produced by [`Trace::write_csv`] (or any
+    /// file in the same format). Rows must be sorted by arrival time.
+    /// `duration` is inferred as the last arrival rounded up to the
+    /// next second (or may be overridden afterwards by the caller's
+    /// simulation config).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure, a bad header, an
+    /// unknown model slug, a malformed field, or out-of-order arrivals.
+    pub fn read_csv<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
+        let mut lines = r.lines();
+        let header = lines.next().ok_or_else(|| ReadTraceError::Parse {
+            line: 1,
+            reason: "empty file".into(),
+        })??;
+        if header.trim() != CSV_HEADER {
+            return Err(ReadTraceError::Parse {
+                line: 1,
+                reason: format!("expected header '{CSV_HEADER}', got '{header}'"),
+            });
+        }
+        let mut requests = Vec::new();
+        let mut last = SimTime::ZERO;
+        for (i, line) in lines.enumerate() {
+            let line_no = i + 2;
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parse = |reason: String| ReadTraceError::Parse {
+                line: line_no,
+                reason,
+            };
+            let mut fields = line.split(',');
+            let arrival_us: u64 = fields
+                .next()
+                .ok_or_else(|| parse("missing arrival_us".into()))?
+                .trim()
+                .parse()
+                .map_err(|_| parse("arrival_us is not an integer".into()))?;
+            let slug = fields
+                .next()
+                .ok_or_else(|| parse("missing model".into()))?
+                .trim();
+            let model = ModelId::from_slug(slug)
+                .ok_or_else(|| parse(format!("unknown model slug '{slug}'")))?;
+            let strict = match fields
+                .next()
+                .ok_or_else(|| parse("missing strict".into()))?
+                .trim()
+            {
+                "0" => false,
+                "1" => true,
+                other => return Err(parse(format!("strict must be 0 or 1, got '{other}'"))),
+            };
+            if fields.next().is_some() {
+                return Err(parse("too many fields".into()));
+            }
+            let arrival = SimTime::from_micros(arrival_us);
+            if arrival < last {
+                return Err(parse("arrivals are not sorted by time".into()));
+            }
+            last = arrival;
+            requests.push(Request {
+                id: RequestId(requests.len() as u64),
+                arrival,
+                model,
+                strict,
+            });
+        }
+        let duration = SimDuration::from_secs(last.as_secs_f64().ceil().max(1.0));
+        Ok(Trace::from_parts(requests, duration))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, TraceShape};
+    use proptest::prelude::*;
+    use protean_sim::RngFactory;
+
+    fn sample_trace() -> Trace {
+        TraceConfig {
+            shape: TraceShape::constant(200.0),
+            duration: SimDuration::from_secs(5.0),
+            strict_model: ModelId::ResNet50,
+            strict_fraction: 0.5,
+            be_pool: vec![ModelId::MobileNet, ModelId::ShuffleNetV2],
+            be_rotation_period: SimDuration::from_secs(2.0),
+            batch_arrivals: true,
+        }
+        .generate(&RngFactory::new(5))
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let back = Trace::read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), trace.requests());
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let err = Trace::read_csv("bogus,header\n1,resnet50,1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_rows_are_located() {
+        let csv = format!("{CSV_HEADER}\n100,resnet50,1\nxxx,resnet50,0\n");
+        let err = Trace::read_csv(csv.as_bytes()).unwrap_err();
+        match err {
+            ReadTraceError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        let csv = format!("{CSV_HEADER}\n100,notamodel,1\n");
+        assert!(Trace::read_csv(csv.as_bytes()).is_err());
+        let csv = format!("{CSV_HEADER}\n100,resnet50,2\n");
+        assert!(Trace::read_csv(csv.as_bytes()).is_err());
+        let csv = format!("{CSV_HEADER}\n100,resnet50,1,extra\n");
+        assert!(Trace::read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unsorted_arrivals_rejected() {
+        let csv = format!("{CSV_HEADER}\n200,resnet50,1\n100,resnet50,0\n");
+        let err = Trace::read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_duration_inferred() {
+        let csv = format!("{CSV_HEADER}\n100,resnet50,1\n\n2500000,mobilenet,0\n");
+        let t = Trace::read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.requests().len(), 2);
+        assert_eq!(t.duration(), SimDuration::from_secs(3.0));
+        assert_eq!(t.requests()[1].model, ModelId::MobileNet);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Any generated trace survives a CSV round trip exactly.
+        #[test]
+        fn prop_round_trip(seed in 0u64..500) {
+            let trace = TraceConfig {
+                shape: TraceShape::constant(150.0),
+                duration: SimDuration::from_secs(3.0),
+                strict_model: ModelId::Bert,
+                strict_fraction: 0.3,
+                be_pool: vec![ModelId::Albert, ModelId::RoBerta],
+                be_rotation_period: SimDuration::from_secs(1.0),
+                batch_arrivals: false,
+            }
+            .generate(&RngFactory::new(seed));
+            let mut buf = Vec::new();
+            trace.write_csv(&mut buf).unwrap();
+            let back = Trace::read_csv(buf.as_slice()).unwrap();
+            prop_assert_eq!(back.requests(), trace.requests());
+        }
+    }
+}

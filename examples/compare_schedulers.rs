@@ -1,0 +1,54 @@
+//! Scheduler bake-off: an inference-serving operator evaluating which
+//! request-serving policy to deploy for a latency-critical vision
+//! model. Compares PROTEAN against the three published baselines on
+//! the same trace and prints a decision table.
+//!
+//! ```text
+//! cargo run --release -p protean-experiments --example compare_schedulers [model]
+//! ```
+//!
+//! `model` is an optional catalog index (0–21); default is VGG 19.
+
+use protean_experiments::report::{banner, scheme_table};
+use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_models::{catalog, ModelId};
+
+fn main() {
+    let model = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<usize>().ok())
+        .and_then(|i| ModelId::ALL.get(i).copied())
+        .unwrap_or(ModelId::Vgg19);
+    let setup = PaperSetup {
+        duration_secs: 60.0,
+        seed: 7,
+    };
+    let config = setup.cluster();
+    let trace = setup.wiki_trace(model);
+    let profile = *catalog().profile(model);
+    banner(
+        "bake-off",
+        &format!(
+            "{model} (batch {}, SLO {:.0} ms), Wiki trace, 8 GPUs",
+            profile.batch_size,
+            profile.slo().as_millis_f64()
+        ),
+    );
+    let rows: Vec<_> = schemes::primary()
+        .iter()
+        .map(|s| run_scheme(&config, s.as_ref(), &trace))
+        .collect();
+    scheme_table(&rows);
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            a.slo_compliance_pct
+                .partial_cmp(&b.slo_compliance_pct)
+                .expect("compliance is finite")
+        })
+        .expect("at least one scheme ran");
+    println!(
+        "\n  -> deploy {}: {:.2}% SLO compliance, {:.0} ms strict P99",
+        best.scheme, best.slo_compliance_pct, best.strict_p99_ms
+    );
+}

@@ -1,0 +1,74 @@
+//! Extending the framework: implement a custom scheduling [`Scheme`]
+//! against the public API and race it against PROTEAN.
+//!
+//! The custom policy here is "biggest-slice-first": every batch goes to
+//! the largest slice with room, ignoring strictness and interference —
+//! a plausible first attempt that the η-based PROTEAN policy should
+//! beat on tail latency.
+//!
+//! ```text
+//! cargo run --release -p protean-experiments --example custom_scheme
+//! ```
+
+use protean::ProteanBuilder;
+use protean_cluster::{BatchView, Placement, PlacementCtx, Scheme, SchemeBuilder};
+use protean_experiments::report::{banner, scheme_table};
+use protean_experiments::{run_scheme, PaperSetup};
+use protean_gpu::{Geometry, SharingMode};
+use protean_models::ModelId;
+
+/// Always place on the largest slice with free memory.
+struct BiggestSliceFirst;
+
+impl Scheme for BiggestSliceFirst {
+    fn name(&self) -> &'static str {
+        "biggest-slice-first"
+    }
+
+    fn initial_geometry(&self) -> Geometry {
+        Geometry::g4_g3()
+    }
+
+    fn sharing_mode(&self) -> SharingMode {
+        SharingMode::Mps
+    }
+
+    fn place(&mut self, ctx: &PlacementCtx<'_>, batch: &BatchView) -> Option<Placement> {
+        let mem = ctx.catalog.profile(batch.model).mem_gb;
+        // Slices are ordered largest-first; take the first with room.
+        ctx.gpu
+            .slices()
+            .iter()
+            .position(|s| s.mem_available_gb() + 1e-9 >= mem)
+            .map(Placement::on_slice)
+    }
+}
+
+struct BiggestSliceFirstBuilder;
+
+impl SchemeBuilder for BiggestSliceFirstBuilder {
+    fn build(&self, _worker: usize) -> Box<dyn Scheme> {
+        Box::new(BiggestSliceFirst)
+    }
+    fn name(&self) -> &'static str {
+        "biggest-slice-first"
+    }
+}
+
+fn main() {
+    let setup = PaperSetup {
+        duration_secs: 60.0,
+        seed: 3,
+    };
+    let config = setup.cluster();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    banner(
+        "custom scheme",
+        "biggest-slice-first vs PROTEAN (ResNet 50)",
+    );
+    let rows = vec![
+        run_scheme(&config, &BiggestSliceFirstBuilder, &trace),
+        run_scheme(&config, &ProteanBuilder::paper(), &trace),
+    ];
+    scheme_table(&rows);
+}

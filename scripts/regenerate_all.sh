@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation, in
+# order, writing each binary's output to results/<id>.txt.
+#
+# Usage: scripts/regenerate_all.sh [duration_secs] [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-120}"
+SEED="${2:-42}"
+OUT=results
+mkdir -p "$OUT"
+
+cargo build --release -p protean-experiments
+
+BINARIES=(
+  fig02_motivation
+  fig03_fbr_catalog
+  fig04_architecture
+  table2_mig_profiles
+  table3_spot_pricing
+  fig05_slo_vision
+  fig06_latency_breakdown
+  fig07_reconfig_timeline
+  fig08_latency_cdf
+  fig09_cost_slo
+  fig10_throughput_util
+  fig11_twitter
+  fig12_vhi_llm
+  fig13_gpt
+  fig14_skewed_ratios
+  table4_all_strict
+  table5_all_be
+  fig15_tight_slo
+  fig16_gpulet
+  fig17_oracle
+  ablations
+  sweep_load
+  future_be_tail
+)
+
+for bin in "${BINARIES[@]}"; do
+  echo ">>> $bin"
+  ./target/release/"$bin" "$DURATION" "$SEED" >"$OUT/$bin.txt" 2>/dev/null
+done
+
+# stats_significance takes [duration_secs] [n_seeds].
+echo ">>> stats_significance"
+./target/release/stats_significance 60 10 >"$OUT/stats_significance.txt" 2>/dev/null
+
+echo "All outputs written to $OUT/"

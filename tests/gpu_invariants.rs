@@ -1,0 +1,158 @@
+//! Property tests driving the GPU substrate through randomized
+//! admit/finish/reconfigure schedules, checking the invariants every
+//! scheme relies on.
+
+use proptest::prelude::*;
+use protean_gpu::{AdmitError, Geometry, Gpu, GpuId, JobId, JobSpec, SharingMode, SliceProfile};
+use protean_sim::{SimDuration, SimTime};
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    prop::sample::select(Geometry::enumerate_all())
+}
+
+fn spec(id: u64, solo_ms: f64, fbr: f64, mem: f64) -> JobSpec {
+    JobSpec {
+        id: JobId(id),
+        solo: SimDuration::from_millis(solo_ms),
+        fbr,
+        mem_gb: mem,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memory is conserved on every slice under any admit/finish
+    /// interleaving: used + available == capacity, and admission never
+    /// over-commits.
+    #[test]
+    fn prop_slice_memory_conservation(
+        geometry in arb_geometry(),
+        jobs in proptest::collection::vec((1.0f64..200.0, 0.05f64..0.9, 0.5f64..8.0), 1..24),
+    ) {
+        let mut gpu = Gpu::new(GpuId(0), geometry, SharingMode::Mps, SimTime::ZERO);
+        let mut resident: Vec<(usize, JobId)> = Vec::new();
+        let mut clock = SimTime::ZERO;
+        for (i, (solo, fbr, mem)) in jobs.into_iter().enumerate() {
+            clock = clock + SimDuration::from_millis(1.0);
+            let slice_idx = i % gpu.slices().len();
+            let s = spec(i as u64, solo, fbr, mem);
+            match gpu.slice_mut(slice_idx).admit(clock, s) {
+                Ok(_) => resident.push((slice_idx, s.id)),
+                Err(AdmitError::OutOfMemory { available_gb, requested_gb }) => {
+                    prop_assert!(requested_gb > available_gb);
+                }
+                Err(e) => prop_assert!(false, "unexpected admit error {e:?}"),
+            }
+            for idx in 0..gpu.slices().len() {
+                let sl = gpu.slice(idx);
+                let cap = sl.profile().mem_gb();
+                prop_assert!(sl.mem_used_gb() <= cap + 1e-9);
+                prop_assert!((sl.mem_used_gb() + sl.mem_available_gb() - cap).abs() < 1e-6);
+            }
+        }
+        // Drain everything via projected completions.
+        for (slice_idx, job) in resident {
+            let at = gpu
+                .slice(slice_idx)
+                .project_completions(clock)
+                .into_iter()
+                .find(|c| c.job == job)
+                .expect("job resident")
+                .at;
+            clock = clock.max(at);
+            // Re-project at the (possibly later) clock before finishing.
+            let at = gpu
+                .slice(slice_idx)
+                .project_completions(clock)
+                .into_iter()
+                .find(|c| c.job == job)
+                .expect("job resident")
+                .at
+                .max(clock);
+            gpu.slice_mut(slice_idx).finish(at, job).expect("drain");
+            clock = at;
+        }
+        prop_assert!(gpu.is_idle());
+    }
+
+    /// Utilization stays within [0, 1] for compute and memory across
+    /// arbitrary occupancy histories.
+    #[test]
+    fn prop_utilization_bounded(
+        geometry in arb_geometry(),
+        solos in proptest::collection::vec(10.0f64..500.0, 1..10),
+    ) {
+        let mut gpu = Gpu::new(GpuId(0), geometry, SharingMode::Mps, SimTime::ZERO);
+        let mut clock = SimTime::ZERO;
+        for (i, solo) in solos.into_iter().enumerate() {
+            let idx = i % gpu.slices().len();
+            let s = spec(i as u64, solo, 0.2, 1.0);
+            if gpu.slice_mut(idx).admit(clock, s).is_ok() {
+                let at = gpu
+                    .slice(idx)
+                    .project_completions(clock)
+                    .into_iter()
+                    .find(|c| c.job == s.id)
+                    .expect("resident")
+                    .at;
+                gpu.slice_mut(idx).finish(at, s.id).expect("solo job finishes");
+                clock = at;
+            }
+            let at_check = clock + SimDuration::from_millis(1.0);
+            let cu = gpu.compute_utilization(at_check);
+            let mu = gpu.memory_utilization(at_check);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&cu), "compute {cu}");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&mu), "memory {mu}");
+        }
+    }
+
+    /// The reconfiguration lifecycle is well-formed from any valid
+    /// geometry to any other: request → drain (idle here) → begin →
+    /// complete, and the new slices match the target.
+    #[test]
+    fn prop_reconfigure_any_to_any(
+        from in arb_geometry(),
+        to in arb_geometry(),
+    ) {
+        let mut gpu = Gpu::new(GpuId(0), from.clone(), SharingMode::Mps, SimTime::ZERO);
+        let changed = gpu.request_reconfigure(to.clone()).expect("request valid");
+        prop_assert_eq!(changed, from != to);
+        if changed {
+            let until = gpu.try_begin_reconfigure(SimTime::from_secs(1.0)).expect("idle");
+            prop_assert_eq!(until, SimTime::from_secs(3.0));
+            gpu.complete_reconfigure(until).expect("complete after delay");
+        }
+        prop_assert_eq!(gpu.geometry(), &to);
+        prop_assert_eq!(gpu.slices().len(), to.len());
+        prop_assert!(gpu.accepting());
+    }
+
+    /// Time-shared slices never report interference: a solo job's
+    /// completion equals admission + solo, whatever its FBR.
+    #[test]
+    fn prop_time_shared_is_interference_free(
+        solo in 1.0f64..500.0,
+        fbr in 0.0f64..2.0,
+    ) {
+        let mut s = protean_gpu::Slice::new(SliceProfile::G3, SharingMode::TimeShared, SimTime::ZERO);
+        let completions = s.admit(SimTime::ZERO, spec(1, solo, fbr, 2.0)).expect("fits");
+        prop_assert_eq!(completions.len(), 1);
+        prop_assert_eq!(completions[0].at, SimTime::ZERO + SimDuration::from_millis(solo));
+        prop_assert_eq!(s.current_slowdown(), 1.0);
+    }
+}
+
+#[test]
+fn enumerated_geometries_build_working_gpus() {
+    for geometry in Geometry::enumerate_all() {
+        let mut gpu = Gpu::new(GpuId(0), geometry.clone(), SharingMode::Mps, SimTime::ZERO);
+        // Each slice accepts a small job.
+        for i in 0..gpu.slices().len() {
+            gpu.slice_mut(i)
+                .admit(SimTime::ZERO, spec(i as u64, 50.0, 0.1, 0.5))
+                .unwrap_or_else(|e| panic!("{geometry}: slice {i}: {e}"));
+        }
+        assert!(!gpu.is_idle());
+    }
+}

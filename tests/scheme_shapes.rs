@@ -1,0 +1,170 @@
+//! Qualitative-shape regression tests: the orderings the paper's
+//! evaluation establishes must hold in the reproduction. These guard
+//! the calibration — if a refactor breaks "PROTEAN beats INFless on HI
+//! models", these fail before any figure is regenerated.
+
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_experiments::{run_scheme, PaperSetup};
+use protean_models::ModelId;
+
+fn setup() -> PaperSetup {
+    PaperSetup {
+        duration_secs: 60.0,
+        seed: 42,
+    }
+}
+
+/// Fig. 5 shape: PROTEAN dominates every primary baseline on an HI
+/// vision model, and INFless/Llama suffers the most interference.
+#[test]
+fn protean_beats_baselines_on_hi_vision() {
+    let setup = setup();
+    let config = setup.cluster();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let protean = run_scheme(&config, &ProteanBuilder::paper(), &trace);
+    let infless = run_scheme(&config, &Baseline::InflessLlama, &trace);
+    let molecule = run_scheme(&config, &Baseline::MoleculeBeta, &trace);
+    let naive = run_scheme(&config, &Baseline::NaiveSlicing, &trace);
+    assert!(
+        protean.slo_compliance_pct > 95.0,
+        "{}",
+        protean.slo_compliance_pct
+    );
+    assert!(
+        protean.slo_compliance_pct >= naive.slo_compliance_pct - 1.0,
+        "PROTEAN {} vs Naive {}",
+        protean.slo_compliance_pct,
+        naive.slo_compliance_pct
+    );
+    assert!(
+        protean.slo_compliance_pct > infless.slo_compliance_pct + 20.0,
+        "PROTEAN {} vs INFless {}",
+        protean.slo_compliance_pct,
+        infless.slo_compliance_pct
+    );
+    assert!(
+        protean.slo_compliance_pct >= molecule.slo_compliance_pct,
+        "PROTEAN {} vs Molecule {}",
+        protean.slo_compliance_pct,
+        molecule.slo_compliance_pct
+    );
+    // Fig. 6 shape: INFless's tail is interference-dominated, Molecule's
+    // queueing-dominated, and PROTEAN's has the least of both.
+    assert!(infless.tail_breakdown.interference_ms > protean.tail_breakdown.interference_ms);
+    assert!(molecule.tail_breakdown.queueing_ms > protean.tail_breakdown.queueing_ms);
+    assert_eq!(molecule.tail_breakdown.interference_ms, 0.0);
+}
+
+/// Fig. 12 shape: the VHI language models sink MPS consolidation.
+#[test]
+fn infless_collapses_on_vhi_llm() {
+    let setup = setup();
+    let config = setup.cluster();
+    let trace = setup.wiki_trace(ModelId::Bert);
+    let protean = run_scheme(&config, &ProteanBuilder::paper(), &trace);
+    let infless = run_scheme(&config, &Baseline::InflessLlama, &trace);
+    assert!(
+        protean.slo_compliance_pct > 85.0,
+        "{}",
+        protean.slo_compliance_pct
+    );
+    assert!(
+        infless.slo_compliance_pct < 50.0,
+        "{}",
+        infless.slo_compliance_pct
+    );
+}
+
+/// Fig. 13 shape: generative LLMs are the worst case for MPS-only
+/// consolidation; PROTEAN stays serviceable.
+#[test]
+fn gpt_is_worst_case_for_mps_only() {
+    let setup = setup();
+    let config = setup.cluster();
+    let trace = setup.wiki_trace(ModelId::Gpt1);
+    let protean = run_scheme(&config, &ProteanBuilder::paper(), &trace);
+    let infless = run_scheme(&config, &Baseline::InflessLlama, &trace);
+    assert!(
+        protean.slo_compliance_pct > 80.0,
+        "{}",
+        protean.slo_compliance_pct
+    );
+    assert!(
+        infless.slo_compliance_pct < 30.0,
+        "{}",
+        infless.slo_compliance_pct
+    );
+}
+
+/// Table 4 shape: in the 100%-strict HI case, PROTEAN keeps high
+/// compliance while INFless/Llama collapses.
+#[test]
+fn all_strict_case_matches_table4_shape() {
+    let setup = setup();
+    let config = setup.cluster();
+    let mut trace = setup.wiki_trace_with_ratio(ModelId::ResNet50, 1.0);
+    trace.be_pool.clear();
+    let protean = run_scheme(&config, &ProteanBuilder::paper(), &trace);
+    let infless = run_scheme(&config, &Baseline::InflessLlama, &trace);
+    assert!(
+        protean.slo_compliance_pct > 90.0,
+        "{}",
+        protean.slo_compliance_pct
+    );
+    assert!(
+        infless.slo_compliance_pct < 40.0,
+        "{}",
+        infless.slo_compliance_pct
+    );
+}
+
+/// Fig. 15 shape: tightening the SLO to 2× degrades PROTEAN only
+/// mildly (paper: ≤ ~5%).
+#[test]
+fn tight_slo_degrades_protean_gracefully() {
+    let setup = setup();
+    let trace = setup.wiki_trace(ModelId::ShuffleNetV2);
+    let loose = run_scheme(&setup.cluster(), &ProteanBuilder::paper(), &trace);
+    let mut tight_cfg = setup.cluster();
+    tight_cfg.slo_multiplier = 2.0;
+    let tight = run_scheme(&tight_cfg, &ProteanBuilder::paper(), &trace);
+    let degradation = loose.slo_compliance_pct - tight.slo_compliance_pct;
+    assert!(degradation < 8.0, "degradation {degradation}");
+    assert!(
+        tight.slo_compliance_pct > 90.0,
+        "{}",
+        tight.slo_compliance_pct
+    );
+}
+
+/// Fig. 17 shape: the Oracle beats PROTEAN by at most a whisker.
+#[test]
+fn oracle_gap_is_small() {
+    let setup = setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let protean = run_scheme(&setup.cluster(), &ProteanBuilder::paper(), &trace);
+    let mut oracle_cfg = setup.cluster();
+    oracle_cfg.reconfig_delay = protean_sim::SimDuration::ZERO;
+    oracle_cfg.cold_start = protean_sim::SimDuration::ZERO;
+    let oracle = run_scheme(&oracle_cfg, &ProteanBuilder::oracle(), &trace);
+    let gap = oracle.slo_compliance_pct - protean.slo_compliance_pct;
+    assert!(gap.abs() < 3.0, "oracle gap {gap}");
+}
+
+/// Fig. 16 shape: GPUlet's SM caps help but cache/bandwidth sharing
+/// still costs it against PROTEAN's MIG isolation.
+#[test]
+fn protean_at_least_matches_gpulet() {
+    let setup = setup();
+    let config = setup.cluster();
+    let trace = setup.wiki_trace(ModelId::Vgg19);
+    let protean = run_scheme(&config, &ProteanBuilder::paper(), &trace);
+    let gpulet = run_scheme(&config, &Baseline::Gpulet, &trace);
+    assert!(
+        protean.slo_compliance_pct >= gpulet.slo_compliance_pct - 1.0,
+        "PROTEAN {} vs GPUlet {}",
+        protean.slo_compliance_pct,
+        gpulet.slo_compliance_pct
+    );
+}

@@ -1,0 +1,154 @@
+//! Integration tests of the Fig. 9 cost/availability trade-off across
+//! the spot market, procurement and cluster crates.
+
+use protean::ProteanBuilder;
+use protean_cluster::ClusterConfig;
+use protean_experiments::{run_scheme, PaperSetup};
+use protean_models::ModelId;
+use protean_sim::SimDuration;
+use protean_spot::{ProcurementPolicy, SpotAvailability};
+
+fn setup() -> PaperSetup {
+    PaperSetup {
+        duration_secs: 90.0,
+        seed: 42,
+    }
+}
+
+fn config_with(
+    setup: &PaperSetup,
+    availability: SpotAvailability,
+    policy: ProcurementPolicy,
+) -> ClusterConfig {
+    let mut config = setup.cluster();
+    config.availability = availability;
+    config.procurement = policy;
+    config.revocation_check = SimDuration::from_secs(20.0);
+    config.vm_startup = SimDuration::from_secs(20.0);
+    config.procurement_retry = SimDuration::from_secs(20.0);
+    config
+}
+
+/// Under high availability, the hybrid runs entirely on spot: ~70%
+/// cheaper than on-demand (the Table 3 AWS discount) at equal SLO.
+#[test]
+fn hybrid_saves_seventy_percent_at_high_availability() {
+    let setup = setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let od = run_scheme(
+        &config_with(
+            &setup,
+            SpotAvailability::High,
+            ProcurementPolicy::OnDemandOnly,
+        ),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    let hybrid = run_scheme(
+        &config_with(&setup, SpotAvailability::High, ProcurementPolicy::Hybrid),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    let ratio = hybrid.cost_usd / od.cost_usd;
+    assert!((ratio - 0.30).abs() < 0.02, "cost ratio {ratio}");
+    assert!(hybrid.slo_compliance_pct > 99.0);
+    assert_eq!(hybrid.evictions, 0);
+}
+
+/// Under low availability, Spot Only loses workers it cannot replace
+/// and its SLO compliance collapses, while the hybrid falls back to
+/// on-demand and keeps serving.
+#[test]
+fn spot_only_collapses_hybrid_survives_at_low_availability() {
+    let setup = setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let spot_only = run_scheme(
+        &config_with(&setup, SpotAvailability::Low, ProcurementPolicy::SpotOnly),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    let hybrid = run_scheme(
+        &config_with(&setup, SpotAvailability::Low, ProcurementPolicy::Hybrid),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    assert!(
+        spot_only.slo_compliance_pct < 60.0,
+        "spot-only {}",
+        spot_only.slo_compliance_pct
+    );
+    assert!(
+        hybrid.slo_compliance_pct > 90.0,
+        "hybrid {}",
+        hybrid.slo_compliance_pct
+    );
+    assert!(spot_only.evictions > 0);
+    // Spot Only is still the cheapest — its problem is availability.
+    assert!(spot_only.cost_usd < hybrid.cost_usd);
+}
+
+/// The hybrid's cost sits between pure spot and pure on-demand under
+/// moderate availability (it pays for some on-demand fallback).
+#[test]
+fn hybrid_cost_is_between_extremes_at_moderate_availability() {
+    let setup = setup();
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let od = run_scheme(
+        &config_with(
+            &setup,
+            SpotAvailability::Moderate,
+            ProcurementPolicy::OnDemandOnly,
+        ),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    let hybrid = run_scheme(
+        &config_with(
+            &setup,
+            SpotAvailability::Moderate,
+            ProcurementPolicy::Hybrid,
+        ),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    let spot_only = run_scheme(
+        &config_with(
+            &setup,
+            SpotAvailability::Moderate,
+            ProcurementPolicy::SpotOnly,
+        ),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    assert!(
+        spot_only.cost_usd < hybrid.cost_usd,
+        "spot {} hybrid {}",
+        spot_only.cost_usd,
+        hybrid.cost_usd
+    );
+    assert!(
+        hybrid.cost_usd < od.cost_usd,
+        "hybrid {} od {}",
+        hybrid.cost_usd,
+        od.cost_usd
+    );
+    assert!(hybrid.slo_compliance_pct > 95.0);
+}
+
+/// On-demand VMs are never revoked regardless of the regime.
+#[test]
+fn on_demand_never_evicted() {
+    let setup = setup();
+    let trace = setup.wiki_trace(ModelId::MobileNet);
+    let od = run_scheme(
+        &config_with(
+            &setup,
+            SpotAvailability::Low,
+            ProcurementPolicy::OnDemandOnly,
+        ),
+        &ProteanBuilder::paper(),
+        &trace,
+    );
+    assert_eq!(od.evictions, 0);
+    assert_eq!(od.censored, 0);
+}
