@@ -123,6 +123,54 @@ fn bench_trace_generation(c: &mut Criterion) {
     });
 }
 
+/// Percentile queries over 100k latencies: re-sorting per call (the
+/// old `percentile` path) vs one `SortedLatencies` view serving P50,
+/// P90, P99, P99.9 and a 50-point CDF from the same sorted buffer.
+fn bench_percentiles(c: &mut Criterion) {
+    use protean_metrics::{percentile, SortedLatencies};
+    let lats: Vec<f64> = (0..100_000u64)
+        .map(|i| (i.wrapping_mul(2_654_435_761) % 1_000_000) as f64 / 100.0)
+        .collect();
+    c.bench_function("percentiles/resort_per_query_x4", |b| {
+        b.iter(|| {
+            (
+                percentile(&lats, 0.50),
+                percentile(&lats, 0.90),
+                percentile(&lats, 0.99),
+                percentile(&lats, 0.999),
+            )
+        })
+    });
+    c.bench_function("percentiles/sorted_once_x4_plus_cdf", |b| {
+        b.iter(|| {
+            let s = SortedLatencies::from_unsorted(lats.clone());
+            (
+                s.percentile(0.50),
+                s.percentile(0.90),
+                s.percentile(0.99),
+                s.percentile(0.999),
+                s.cdf(50),
+            )
+        })
+    });
+}
+
+/// The engine's placement loop (`try_place`) as driven by a real
+/// simulation: a short, placement-heavy run whose events are dominated
+/// by candidate scans and slice admissions. Guards the scratch-buffer
+/// and allocation-free candidate-iteration optimisations.
+fn bench_try_place(c: &mut Criterion) {
+    use protean::ProteanBuilder;
+    use protean_cluster::run_simulation;
+    let setup = protean_bench::bench_setup();
+    let mut config = setup.cluster();
+    config.workers = 2;
+    let trace = setup.constant_trace(ModelId::ResNet50, 2000.0);
+    c.bench_function("engine/try_place_2w_2000rps_20s", |b| {
+        b.iter(|| run_simulation(&config, &ProteanBuilder::paper(), &trace))
+    });
+}
+
 /// Metric aggregation over 100k records (percentiles + compliance).
 fn bench_metrics(c: &mut Criterion) {
     use protean_metrics::{LatencyBreakdown, MetricsSet, RequestRecord};
@@ -149,6 +197,8 @@ criterion_group!(
         bench_job_distribution,
         bench_reconfigurator,
         bench_trace_generation,
+        bench_percentiles,
+        bench_try_place,
         bench_metrics
 );
 criterion_main!(micro);

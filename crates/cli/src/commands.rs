@@ -3,6 +3,7 @@
 use protean::ProteanBuilder;
 use protean_baselines::Baseline;
 use protean_cluster::{run_simulation_on, ClusterConfig, SchemeBuilder};
+use protean_experiments::harness::{run_grid, thread_count_or, GridCell};
 use protean_experiments::report::{scheme_table, table};
 use protean_experiments::run_scheme;
 use protean_gpu::{find_placement, Geometry};
@@ -41,6 +42,9 @@ FLAGS (simulate / compare):
   --seed <u64>            root seed (default 42)
   --slo-mult <f64>        SLO = mult x 7g latency (default 3)
   --procurement <p>       ondemand | spot | hybrid (default ondemand)
+  --threads <n>           compare only: worker threads for the scheme
+                          grid (default PROTEAN_THREADS, then the
+                          machine's available parallelism)
   --availability <a>      high | medium | low (default high)
   --per-model <bool>      simulate only: also print a per-model table
 
@@ -54,7 +58,7 @@ FLAGS (gen-trace):
 ";
 
 /// Flags shared by `simulate` and `compare`.
-const RUN_FLAGS: [&str; 10] = [
+const RUN_FLAGS: [&str; 11] = [
     "model",
     "scheme",
     "trace",
@@ -65,8 +69,9 @@ const RUN_FLAGS: [&str; 10] = [
     "seed",
     "slo-mult",
     "procurement",
+    "threads",
 ];
-const RUN_FLAGS_EXT: [&str; 12] = [
+const RUN_FLAGS_EXT: [&str; 13] = [
     "model",
     "scheme",
     "trace",
@@ -77,6 +82,7 @@ const RUN_FLAGS_EXT: [&str; 12] = [
     "seed",
     "slo-mult",
     "procurement",
+    "threads",
     "availability",
     "per-model",
 ];
@@ -254,10 +260,16 @@ pub fn compare(args: &Args) -> Result<(), ArgError> {
         ));
     }
     let (config, trace) = build_run(args)?;
-    let rows: Vec<_> = protean_experiments::schemes::primary()
+    let threads = thread_count_or(match args.get("threads") {
+        None => None,
+        Some(_) => Some(args.get_or("threads", 1usize)?),
+    });
+    let lineup = protean_experiments::schemes::primary();
+    let cells: Vec<GridCell<'_>> = lineup
         .iter()
-        .map(|s| run_scheme(&config, s.as_ref(), &trace))
+        .map(|s| GridCell::new(config.clone(), s.as_ref(), trace.clone()))
         .collect();
+    let rows = run_grid(&cells, threads);
     scheme_table(&rows);
     Ok(())
 }

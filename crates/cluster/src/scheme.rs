@@ -116,7 +116,11 @@ pub trait Scheme {
 }
 
 /// Builds one [`Scheme`] instance per worker node.
-pub trait SchemeBuilder {
+///
+/// Builders are shared across the parallel experiment harness's worker
+/// threads (`protean-experiments`), so they must be `Send + Sync`; in
+/// practice every builder is plain configuration data.
+pub trait SchemeBuilder: Send + Sync {
     /// Builds the scheme instance for worker `worker`.
     fn build(&self, worker: usize) -> Box<dyn Scheme>;
 

@@ -86,37 +86,50 @@ impl SchedQueue {
     /// anyway.
     pub fn candidates(&self, depth: usize) -> Vec<&Batch> {
         let mut out: Vec<&Batch> = Vec::with_capacity(depth.min(self.len()));
+        self.for_each_candidate(depth, |b| out.push(b));
+        out
+    }
+
+    /// Visits the batches [`SchedQueue::candidates`] would return, in the
+    /// same order, without allocating — the scheduler's placement loop
+    /// calls this on every pass.
+    pub fn for_each_candidate<'a>(&'a self, depth: usize, mut f: impl FnMut(&'a Batch)) {
         if self.reorders {
-            out.extend(self.strict.iter().take(depth).map(|(_, b)| b));
-            out.extend(self.best_effort.iter().take(depth).map(|(_, b)| b));
+            for (_, b) in self.strict.iter().take(depth) {
+                f(b);
+            }
+            for (_, b) in self.best_effort.iter().take(depth) {
+                f(b);
+            }
         } else {
             // FIFO across both classes: merge by sequence number.
+            let mut visited = 0;
             let mut si = self.strict.iter().peekable();
             let mut bi = self.best_effort.iter().peekable();
-            while out.len() < depth {
+            while visited < depth {
                 match (si.peek(), bi.peek()) {
                     (Some((ss, sb)), Some((bs, bb))) => {
                         if ss < bs {
-                            out.push(sb);
+                            f(sb);
                             si.next();
                         } else {
-                            out.push(bb);
+                            f(bb);
                             bi.next();
                         }
                     }
                     (Some((_, sb)), None) => {
-                        out.push(sb);
+                        f(sb);
                         si.next();
                     }
                     (None, Some((_, bb))) => {
-                        out.push(bb);
+                        f(bb);
                         bi.next();
                     }
                     (None, None) => break,
                 }
+                visited += 1;
             }
         }
-        out
     }
 
     /// Removes the batch with `id`; `mem_gb` must match the value given
@@ -391,8 +404,8 @@ mod tests {
         ) {
             let mut q = SchedQueue::new(reorders);
             let mut live: Vec<(u64, bool, f64)> = Vec::new();
-            let mut next_id = 0u64;
-            for (strict, mem) in ops {
+            for (next_id, (strict, mem)) in ops.into_iter().enumerate() {
+                let next_id = next_id as u64;
                 // Alternate pushes with occasional removals.
                 if next_id % 3 == 2 && !live.is_empty() {
                     let (id, _, m) = live.remove(0);
@@ -401,7 +414,6 @@ mod tests {
                     q.push(batch(next_id, strict), mem);
                     live.push((next_id, strict, mem));
                 }
-                next_id += 1;
                 let expected_be: f64 = live
                     .iter()
                     .filter(|(_, s, _)| !s)

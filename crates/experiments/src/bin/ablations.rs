@@ -11,10 +11,15 @@
 //! * the EWMA predictor vs last-value (§4.4)
 //! * the delayed-termination keep-alive (§4.2), toggled via the cluster
 //!   config (no pre-warm + immediate reclaim shows the cold-start cost)
+//!
+//! Both variant grids run on the parallel harness (`PROTEAN_THREADS`
+//! overrides the worker count).
 
 use protean::{ProteanBuilder, ProteanConfig, ReconfiguratorConfig};
+use protean_cluster::SchemeBuilder;
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, PaperSetup};
+use protean_experiments::{PaperSetup, SchemeRow};
 use protean_models::ModelId;
 use protean_sim::SimDuration;
 
@@ -25,9 +30,21 @@ fn variant(name: &'static str, f: impl FnOnce(&mut ProteanConfig)) -> ProteanBui
     ProteanBuilder::with_config(config, 2.0)
 }
 
+fn ablation_row(r: &SchemeRow, label: Option<&str>) -> Vec<String> {
+    vec![
+        label.map_or_else(|| r.scheme.clone(), str::to_string),
+        format!("{:.2}", r.slo_compliance_pct),
+        format!("{:.1}", r.strict_p99_ms),
+        format!("{:.1}", r.be_p99_ms),
+        r.reconfigs.to_string(),
+        r.result.cold_starts.to_string(),
+    ]
+}
+
 fn main() {
     let setup = PaperSetup::from_args();
     let config = setup.cluster();
+    let threads = thread_count();
     // A workload that exercises every mechanism: HI strict model,
     // rotating BE pool including the oversized DPN 92.
     let mut trace = setup.wiki_trace(ModelId::ResNet50);
@@ -56,32 +73,32 @@ fn main() {
             }
         }),
     ];
-    let mut rows = Vec::new();
-    for builder in &variants {
-        let r = run_scheme(&config, builder, &trace);
-        rows.push(vec![
-            r.scheme.clone(),
-            format!("{:.2}", r.slo_compliance_pct),
-            format!("{:.1}", r.strict_p99_ms),
-            format!("{:.1}", r.be_p99_ms),
-            r.reconfigs.to_string(),
-            r.result.cold_starts.to_string(),
-        ]);
-    }
     // Keep-alive ablation lives in the cluster config: no pre-warmed
-    // containers and immediate reclaim of idle ones.
+    // containers and immediate reclaim of idle ones. It rides the same
+    // grid as the scheme-config variants, just with its own config.
     let mut no_keepalive = config.clone();
     no_keepalive.prewarm_containers = 0;
     no_keepalive.keep_alive = SimDuration::from_secs(2.0);
-    let r = run_scheme(&no_keepalive, &ProteanBuilder::paper(), &trace);
-    rows.push(vec![
-        "no keep-alive (immediate scale-down)".to_string(),
-        format!("{:.2}", r.slo_compliance_pct),
-        format!("{:.1}", r.strict_p99_ms),
-        format!("{:.1}", r.be_p99_ms),
-        r.reconfigs.to_string(),
-        r.result.cold_starts.to_string(),
-    ]);
+    let paper = ProteanBuilder::paper();
+
+    let mut cells: Vec<GridCell<'_>> = variants
+        .iter()
+        .map(|b| GridCell::new(config.clone(), b, trace.clone()).labeled(b.name()))
+        .collect();
+    cells.push(
+        GridCell::new(no_keepalive, &paper, trace.clone())
+            .labeled("no keep-alive (immediate scale-down)"),
+    );
+    let results = run_grid(&cells, threads);
+
+    let mut rows: Vec<Vec<String>> = results[..variants.len()]
+        .iter()
+        .map(|r| ablation_row(r, None))
+        .collect();
+    rows.push(ablation_row(
+        results.last().expect("keep-alive cell present"),
+        Some("no keep-alive (immediate scale-down)"),
+    ));
     table(
         &[
             "variant",
@@ -109,10 +126,13 @@ fn main() {
         ProteanBuilder::paper(),
         variant("no request reordering", |c| c.reorder = false),
     ];
-    let rows: Vec<Vec<String>> = variants
+    let cells: Vec<GridCell<'_>> = variants
         .iter()
-        .map(|b| {
-            let r = run_scheme(&contended, b, &trace);
+        .map(|b| GridCell::new(contended.clone(), b, trace.clone()).labeled(b.name()))
+        .collect();
+    let rows: Vec<Vec<String>> = run_grid(&cells, threads)
+        .iter()
+        .map(|r| {
             vec![
                 r.scheme.clone(),
                 format!("{:.2}", r.slo_compliance_pct),

@@ -1,9 +1,13 @@
 //! Fig. 5 — SLO compliance of all schemes for all 12 vision models
 //! (Wiki trace, ~5000 rps mean, 8×A100, 50/50 strict/BE).
+//!
+//! The `model x scheme` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
 
 use protean_experiments::chart::bar_chart;
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_experiments::{schemes, PaperSetup};
 use protean_models::catalog;
 
 fn main() {
@@ -15,19 +19,28 @@ fn main() {
     let mut headers: Vec<String> = vec!["model".to_string()];
     headers.extend(lineup.iter().map(|s| s.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let models: Vec<_> = cat.vision().map(|p| p.id).collect();
+    let cells: Vec<GridCell<'_>> = models
+        .iter()
+        .flat_map(|&model| lineup.iter().map(move |s| (model, s)))
+        .map(|(model, s)| {
+            GridCell::new(config.clone(), s.as_ref(), setup.wiki_trace(model))
+                .labeled(format!("{model} / {}", s.name()))
+        })
+        .collect();
+    let results = run_grid(&cells, thread_count());
+
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; lineup.len()];
-    for model in cat.vision().map(|p| p.id).collect::<Vec<_>>() {
-        let trace = setup.wiki_trace(model);
+    for (m, &model) in models.iter().enumerate() {
         let mut row = vec![model.to_string()];
-        for (i, s) in lineup.iter().enumerate() {
-            let r = run_scheme(&config, s.as_ref(), &trace);
+        for (i, _) in lineup.iter().enumerate() {
+            let r = &results[m * lineup.len() + i];
             sums[i] += r.slo_compliance_pct;
             row.push(format!("{:.2}", r.slo_compliance_pct));
         }
         rows.push(row);
-        // Print incrementally so long runs show progress.
-        eprintln!("  done: {model}");
     }
     table(&header_refs, &rows);
     println!();
@@ -36,7 +49,7 @@ fn main() {
         &lineup
             .iter()
             .zip(&sums)
-            .map(|(s, sum)| (s.name().to_string(), sum / 12.0))
+            .map(|(s, sum)| (s.name().to_string(), sum / models.len() as f64))
             .collect::<Vec<_>>(),
         100.0,
     );

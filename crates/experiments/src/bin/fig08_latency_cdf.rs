@@ -9,6 +9,9 @@ use protean_experiments::{run_scheme, schemes, PaperSetup};
 use protean_metrics::record::Class;
 use protean_models::{catalog, ModelId};
 
+/// One CDF curve: plot glyph, scheme name, (latency, fraction) points.
+type Curve = (char, String, Vec<(f64, f64)>);
+
 fn main() {
     let setup = PaperSetup::from_args();
     let config = setup.cluster();
@@ -19,7 +22,7 @@ fn main() {
         &format!("latency CDF, {model} (SLO {slo_ms:.0} ms)"),
     );
     let trace = setup.wiki_trace(model);
-    let mut curves: Vec<(char, String, Vec<(f64, f64)>)> = Vec::new();
+    let mut curves: Vec<Curve> = Vec::new();
     let glyphs = ['M', 'I', 'N', 'P'];
     for (i, s) in schemes::primary().iter().enumerate() {
         let row = run_scheme(&config, s.as_ref(), &trace);

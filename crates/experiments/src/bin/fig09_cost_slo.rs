@@ -4,11 +4,15 @@
 //! variant, and PROTEAN's hybrid spot/on-demand procurement.
 //!
 //! Costs are normalized to the on-demand-only cost of the same run.
+//!
+//! The `availability x procurement` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
 
 use protean::ProteanBuilder;
 use protean_cluster::ClusterConfig;
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, PaperSetup};
+use protean_experiments::PaperSetup;
 use protean_models::ModelId;
 use protean_sim::SimDuration;
 use protean_spot::{ProcurementPolicy, SpotAvailability};
@@ -23,6 +27,18 @@ fn spot_cadence(mut config: ClusterConfig) -> ClusterConfig {
     config
 }
 
+const AVAILABILITIES: [SpotAvailability; 3] = [
+    SpotAvailability::High,
+    SpotAvailability::Moderate,
+    SpotAvailability::Low,
+];
+
+const POLICIES: [(&str, ProcurementPolicy); 3] = [
+    ("Other schemes (on-demand)", ProcurementPolicy::OnDemandOnly),
+    ("Spot Only", ProcurementPolicy::SpotOnly),
+    ("PROTEAN (hybrid)", ProcurementPolicy::Hybrid),
+];
+
 fn main() {
     let setup = PaperSetup::from_args();
     let trace = setup.wiki_trace(ModelId::ResNet50);
@@ -30,32 +46,31 @@ fn main() {
         "Fig. 9",
         "normalized cost vs SLO compliance under spot availability regimes (ResNet 50)",
     );
-    let mut rows = Vec::new();
-    for availability in [
-        SpotAvailability::High,
-        SpotAvailability::Moderate,
-        SpotAvailability::Low,
-    ] {
-        // Baseline cost: on-demand only (what the comparison schemes pay).
-        let mut od = spot_cadence(setup.cluster());
-        od.availability = availability;
-        od.procurement = ProcurementPolicy::OnDemandOnly;
-        let od_row = run_scheme(&od, &ProteanBuilder::paper(), &trace);
-        let od_cost = od_row.cost_usd;
-
-        for (label, policy) in [
-            ("Other schemes (on-demand)", ProcurementPolicy::OnDemandOnly),
-            ("Spot Only", ProcurementPolicy::SpotOnly),
-            ("PROTEAN (hybrid)", ProcurementPolicy::Hybrid),
-        ] {
+    let scheme = ProteanBuilder::paper();
+    let cells: Vec<GridCell<'_>> = AVAILABILITIES
+        .iter()
+        .flat_map(|&availability| {
+            POLICIES
+                .iter()
+                .map(move |&(label, policy)| (availability, label, policy))
+        })
+        .map(|(availability, label, policy)| {
             let mut config = spot_cadence(setup.cluster());
             config.availability = availability;
             config.procurement = policy;
-            let row = if policy == ProcurementPolicy::OnDemandOnly {
-                od_row.clone()
-            } else {
-                run_scheme(&config, &ProteanBuilder::paper(), &trace)
-            };
+            GridCell::new(config, &scheme, trace.clone())
+                .labeled(format!("{availability} / {label}"))
+        })
+        .collect();
+    let results = run_grid(&cells, thread_count());
+
+    let mut rows = Vec::new();
+    for (a, availability) in AVAILABILITIES.iter().enumerate() {
+        // Baseline cost: on-demand only (what the comparison schemes
+        // pay), always the first policy of the availability's block.
+        let od_cost = results[a * POLICIES.len()].cost_usd;
+        for (p, (label, _)) in POLICIES.iter().enumerate() {
+            let row = &results[a * POLICIES.len() + p];
             rows.push(vec![
                 availability.to_string(),
                 label.to_string(),

@@ -2,9 +2,13 @@
 //! models (128 rps, batch 4, Wiki trace): the MPS-consolidating schemes
 //! suffer from the LLMs' high FBRs; PROTEAN stays compliant through
 //! isolation-aware placement.
+//!
+//! The `model x scheme` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
 
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_experiments::{schemes, PaperSetup};
 use protean_models::catalog;
 
 fn main() {
@@ -16,16 +20,29 @@ fn main() {
     let mut headers: Vec<String> = vec!["model".to_string()];
     headers.extend(lineup.iter().map(|s| s.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut rows = Vec::new();
-    for model in cat.vhi_non_generative().map(|p| p.id).collect::<Vec<_>>() {
-        let trace = setup.wiki_trace(model);
-        let mut row = vec![model.to_string()];
-        for s in &lineup {
-            let r = run_scheme(&config, s.as_ref(), &trace);
-            row.push(format!("{:.2}", r.slo_compliance_pct));
-        }
-        rows.push(row);
-        eprintln!("  done: {model}");
-    }
+
+    let models: Vec<_> = cat.vhi_non_generative().map(|p| p.id).collect();
+    let cells: Vec<GridCell<'_>> = models
+        .iter()
+        .flat_map(|&model| lineup.iter().map(move |s| (model, s)))
+        .map(|(model, s)| {
+            GridCell::new(config.clone(), s.as_ref(), setup.wiki_trace(model))
+                .labeled(format!("{model} / {}", s.name()))
+        })
+        .collect();
+    let results = run_grid(&cells, thread_count());
+
+    let rows: Vec<Vec<String>> = models
+        .iter()
+        .enumerate()
+        .map(|(m, &model)| {
+            let mut row = vec![model.to_string()];
+            row.extend(
+                (0..lineup.len())
+                    .map(|i| format!("{:.2}", results[m * lineup.len() + i].slo_compliance_pct)),
+            );
+            row
+        })
+        .collect();
     table(&header_refs, &rows);
 }

@@ -2,13 +2,25 @@
 //! caps strict requests at ~60–65% of the SMs. GPUlet still shares
 //! cache and memory bandwidth between classes, so PROTEAN's MIG
 //! isolation retains the edge.
+//!
+//! The `multiplier x model x scheme` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
 
 use protean::ProteanBuilder;
 use protean_baselines::Baseline;
 use protean_cluster::SchemeBuilder;
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, PaperSetup};
+use protean_experiments::PaperSetup;
 use protean_models::ModelId;
+
+const MODELS: [ModelId; 5] = [
+    ModelId::ResNet50,
+    ModelId::Vgg19,
+    ModelId::DenseNet121,
+    ModelId::Dpn92,
+    ModelId::ShuffleNetV2,
+];
 
 fn main() {
     let setup = PaperSetup::from_args();
@@ -23,23 +35,27 @@ fn main() {
         banner("Fig. 16", &format!("PROTEAN vs GPUlet, SLO % ({caption})"));
         let mut config = setup.cluster();
         config.slo_multiplier = multiplier;
-        let mut rows = Vec::new();
-        for model in [
-            ModelId::ResNet50,
-            ModelId::Vgg19,
-            ModelId::DenseNet121,
-            ModelId::Dpn92,
-            ModelId::ShuffleNetV2,
-        ] {
-            let trace = setup.wiki_trace(model);
-            let mut row = vec![model.to_string()];
-            for s in &lineup {
-                let r = run_scheme(&config, s.as_ref(), &trace);
-                row.push(format!("{:.2}", r.slo_compliance_pct));
-            }
-            rows.push(row);
-            eprintln!("  done: {model} ({caption})");
-        }
+        let cells: Vec<GridCell<'_>> = MODELS
+            .iter()
+            .flat_map(|&model| lineup.iter().map(move |s| (model, s)))
+            .map(|(model, s)| {
+                GridCell::new(config.clone(), s.as_ref(), setup.wiki_trace(model))
+                    .labeled(format!("{model} / {} ({caption})", s.name()))
+            })
+            .collect();
+        let results = run_grid(&cells, thread_count());
+        let rows: Vec<Vec<String>> =
+            MODELS
+                .iter()
+                .enumerate()
+                .map(|(m, &model)| {
+                    let mut row = vec![model.to_string()];
+                    row.extend((0..lineup.len()).map(|i| {
+                        format!("{:.2}", results[m * lineup.len() + i].slo_compliance_pct)
+                    }));
+                    row
+                })
+                .collect();
         table(&["model", "GPUlet", "PROTEAN"], &rows);
     }
 }

@@ -2,35 +2,59 @@
 //! ideal configurations: the Oracle predicts perfectly (EWMA α = 1),
 //! never hesitates (wait limit 0), and pays no reconfiguration
 //! downtime. The gap should be small (paper: ≤0.42% SLO, ≤17% tail).
+//!
+//! The `model x {PROTEAN, Oracle}` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
 
 use protean::ProteanBuilder;
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, PaperSetup};
+use protean_experiments::PaperSetup;
 use protean_models::ModelId;
 use protean_sim::SimDuration;
+
+const MODELS: [ModelId; 3] = [ModelId::ResNet50, ModelId::ShuffleNetV2, ModelId::Vgg19];
 
 fn main() {
     let setup = PaperSetup::from_args();
     banner("Fig. 17", "PROTEAN vs Oracle: SLO % and strict P99 (ms)");
-    let mut rows = Vec::new();
-    for model in [ModelId::ResNet50, ModelId::ShuffleNetV2, ModelId::Vgg19] {
-        let trace = setup.wiki_trace(model);
-        let protean_row = run_scheme(&setup.cluster(), &ProteanBuilder::paper(), &trace);
-        // The Oracle pays no reconfiguration downtime and no cold starts
-        // (its offline sweeps pre-provision everything).
-        let mut oracle_cfg = setup.cluster();
-        oracle_cfg.reconfig_delay = SimDuration::ZERO;
-        oracle_cfg.cold_start = SimDuration::ZERO;
-        let oracle_row = run_scheme(&oracle_cfg, &ProteanBuilder::oracle(), &trace);
-        rows.push(vec![
-            model.to_string(),
-            format!("{:.2}", protean_row.slo_compliance_pct),
-            format!("{:.2}", oracle_row.slo_compliance_pct),
-            format!("{:.1}", protean_row.strict_p99_ms),
-            format!("{:.1}", oracle_row.strict_p99_ms),
-        ]);
-        eprintln!("  done: {model}");
-    }
+    let protean = ProteanBuilder::paper();
+    let oracle = ProteanBuilder::oracle();
+    // The Oracle pays no reconfiguration downtime and no cold starts
+    // (its offline sweeps pre-provision everything).
+    let mut oracle_cfg = setup.cluster();
+    oracle_cfg.reconfig_delay = SimDuration::ZERO;
+    oracle_cfg.cold_start = SimDuration::ZERO;
+
+    let cells: Vec<GridCell<'_>> = MODELS
+        .iter()
+        .flat_map(|&model| {
+            let trace = setup.wiki_trace(model);
+            [
+                GridCell::new(setup.cluster(), &protean, trace.clone())
+                    .labeled(format!("{model} / PROTEAN")),
+                GridCell::new(oracle_cfg.clone(), &oracle, trace)
+                    .labeled(format!("{model} / Oracle")),
+            ]
+        })
+        .collect();
+    let results = run_grid(&cells, thread_count());
+
+    let rows: Vec<Vec<String>> = MODELS
+        .iter()
+        .enumerate()
+        .map(|(m, &model)| {
+            let protean_row = &results[m * 2];
+            let oracle_row = &results[m * 2 + 1];
+            vec![
+                model.to_string(),
+                format!("{:.2}", protean_row.slo_compliance_pct),
+                format!("{:.2}", oracle_row.slo_compliance_pct),
+                format!("{:.1}", protean_row.strict_p99_ms),
+                format!("{:.1}", oracle_row.strict_p99_ms),
+            ]
+        })
+        .collect();
     table(
         &[
             "model",

@@ -1,0 +1,147 @@
+//! Harness timing reporter: measures wall-clock of representative
+//! experiment grids sequentially (1 thread) and in parallel
+//! (`PROTEAN_THREADS` / available parallelism), verifies the results
+//! are bit-identical, and writes `results/bench_pr1.json` so later PRs
+//! have a perf trajectory to regress against.
+//!
+//! Usage: `harness_timing [duration_secs] [seed]` (defaults 20 s,
+//! seed 42 — a reduced-scale grid; the point is the speedup ratio, not
+//! absolute figure values).
+
+use std::time::Instant;
+
+use protean_experiments::harness::{
+    run_grid, thread_count, write_bench_json, GridCell, TimingReport,
+};
+use protean_experiments::report::{banner, table};
+use protean_experiments::{schemes, PaperSetup, SchemeRow};
+use protean_models::{catalog, ModelId};
+
+fn time_grid(name: &str, cells: &[GridCell<'_>], threads: usize) -> (TimingReport, bool) {
+    let t0 = Instant::now();
+    let sequential = run_grid(cells, 1);
+    let sequential_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = run_grid(cells, threads);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    let identical = sequential
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| rows_identical(a, b));
+    (
+        TimingReport {
+            experiment: name.to_string(),
+            cells: cells.len(),
+            threads,
+            sequential_secs,
+            parallel_secs,
+        },
+        identical,
+    )
+}
+
+fn rows_identical(a: &SchemeRow, b: &SchemeRow) -> bool {
+    a.scheme == b.scheme
+        && a.slo_compliance_pct.to_bits() == b.slo_compliance_pct.to_bits()
+        && a.strict_p50_ms.to_bits() == b.strict_p50_ms.to_bits()
+        && a.strict_p99_ms.to_bits() == b.strict_p99_ms.to_bits()
+        && a.cost_usd.to_bits() == b.cost_usd.to_bits()
+        && a.evictions == b.evictions
+        && a.reconfigs == b.reconfigs
+}
+
+fn main() {
+    let setup = PaperSetup {
+        duration_secs: 20.0,
+        ..PaperSetup::default()
+    };
+    let mut args = std::env::args().skip(1);
+    let setup = PaperSetup {
+        duration_secs: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(setup.duration_secs),
+        seed: args
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(setup.seed),
+    };
+    let threads = thread_count();
+    banner(
+        "harness timing",
+        &format!(
+            "{} s per cell grid, {} worker threads (PROTEAN_THREADS overrides)",
+            setup.duration_secs, threads
+        ),
+    );
+
+    let config = setup.cluster();
+    let lineup = schemes::primary();
+    let mut reports = Vec::new();
+    let mut all_identical = true;
+
+    // fig05-style grid: every vision model x every primary scheme.
+    let vision: Vec<ModelId> = catalog().vision().map(|p| p.id).collect();
+    let cells: Vec<GridCell<'_>> = vision
+        .iter()
+        .flat_map(|&model| lineup.iter().map(move |s| (model, s)))
+        .map(|(model, s)| GridCell::new(config.clone(), s.as_ref(), setup.wiki_trace(model)))
+        .collect();
+    let (report, identical) = time_grid("fig05_slo_vision", &cells, threads);
+    all_identical &= identical;
+    reports.push(report);
+
+    // stats-significance-style grid: one model x many seeds x schemes.
+    let seed_cells: Vec<GridCell<'_>> = (0..8u64)
+        .flat_map(|seed| {
+            let per_seed = PaperSetup {
+                duration_secs: setup.duration_secs,
+                seed: 1000 + seed,
+            };
+            let config = per_seed.cluster();
+            let trace = per_seed.wiki_trace(ModelId::ResNet50);
+            lineup
+                .iter()
+                .map(move |s| GridCell::new(config.clone(), s.as_ref(), trace.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let (report, identical) = time_grid("stats_significance", &seed_cells, threads);
+    all_identical &= identical;
+    reports.push(report);
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.experiment.clone(),
+                r.cells.to_string(),
+                format!("{:.2}", r.sequential_secs),
+                format!("{:.2}", r.parallel_secs),
+                format!("{:.2}x", r.speedup()),
+                format!("{:.2}", r.cells_per_sec()),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "experiment",
+            "cells",
+            "sequential s",
+            "parallel s",
+            "speedup",
+            "cells/s",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "parallel == sequential (bit-identical rows): {}",
+        if all_identical { "yes" } else { "NO" }
+    );
+
+    let path = std::path::Path::new("results/bench_pr1.json");
+    write_bench_json(path, threads, &reports).expect("write results/bench_pr1.json");
+    println!("wrote {}", path.display());
+    assert!(all_identical, "parallel run diverged from sequential");
+}

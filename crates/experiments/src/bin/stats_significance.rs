@@ -8,12 +8,16 @@
 //! * Cohen's *d* effect sizes (paper: 7.80–304.37, largest vs Molecule
 //!   for vision and vs INFless/Llama for the language models).
 //!
+//! The `seed x scheme` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
+//!
 //! Usage: `stats_significance [duration_secs] [n_seeds]` (defaults
 //! 60 s × 10 seeds; the per-seed duration is shorter than the figure
 //! default since this binary runs `schemes × seeds` simulations).
 
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_experiments::{schemes, PaperSetup};
 use protean_metrics::{cohens_d, mean_ci95, welch_t_test};
 use protean_models::ModelId;
 
@@ -28,20 +32,30 @@ fn main() {
             &format!("{model}: {n_seeds} seeds x {duration} s per scheme"),
         );
         let lineup = schemes::primary();
+        let cells: Vec<GridCell<'_>> =
+            (0..n_seeds)
+                .flat_map(|seed| {
+                    let setup = PaperSetup {
+                        duration_secs: duration,
+                        seed: 1000 + seed,
+                    };
+                    let config = setup.cluster();
+                    let trace = setup.wiki_trace(model);
+                    lineup
+                        .iter()
+                        .map(|s| {
+                            GridCell::new(config.clone(), s.as_ref(), trace.clone())
+                                .labeled(format!("seed {} / {}", 1000 + seed, s.name()))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+        let results = run_grid(&cells, thread_count());
+
         // compliance[i][k] = scheme i's SLO compliance (%) under seed k.
         let mut compliance: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
-        for seed in 0..n_seeds {
-            let setup = PaperSetup {
-                duration_secs: duration,
-                seed: 1000 + seed,
-            };
-            let config = setup.cluster();
-            let trace = setup.wiki_trace(model);
-            for (i, s) in lineup.iter().enumerate() {
-                let row = run_scheme(&config, s.as_ref(), &trace);
-                compliance[i].push(row.slo_compliance_pct);
-            }
-            eprintln!("  seed {} done", 1000 + seed);
+        for (c, row) in results.iter().enumerate() {
+            compliance[c % lineup.len()].push(row.slo_compliance_pct);
         }
         // Confidence intervals.
         let rows: Vec<Vec<String>> = lineup

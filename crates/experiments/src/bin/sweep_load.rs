@@ -3,11 +3,15 @@
 //! locating each scheme's knee. Complements Fig. 5 by showing *where*
 //! the schemes break rather than how they compare at one point.
 //!
+//! The `load x scheme` grid runs on the parallel harness
+//! (`PROTEAN_THREADS` overrides the worker count).
+//!
 //! Usage: `sweep_load [duration_secs] [seed]`.
 
 use protean_experiments::chart::line_plot;
+use protean_experiments::harness::{run_grid, thread_count, GridCell};
 use protean_experiments::report::{banner, table};
-use protean_experiments::{run_scheme, schemes, PaperSetup};
+use protean_experiments::{schemes, PaperSetup};
 use protean_models::ModelId;
 use protean_trace::TraceShape;
 
@@ -28,19 +32,29 @@ fn main() {
     let mut headers: Vec<String> = vec!["offered rps".to_string()];
     headers.extend(lineup.iter().map(|s| s.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let cells: Vec<GridCell<'_>> = LOADS
+        .iter()
+        .flat_map(|&rps| lineup.iter().map(move |s| (rps, s)))
+        .map(|(rps, s)| {
+            let mut trace = setup.wiki_trace(model);
+            trace.shape = TraceShape::wiki(rps);
+            GridCell::new(config.clone(), s.as_ref(), trace)
+                .labeled(format!("{rps:.0} rps / {}", s.name()))
+        })
+        .collect();
+    let results = run_grid(&cells, thread_count());
+
     let mut rows = Vec::new();
     let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); lineup.len()];
-    for rps in LOADS {
-        let mut trace = setup.wiki_trace(model);
-        trace.shape = TraceShape::wiki(rps);
+    for (l, &rps) in LOADS.iter().enumerate() {
         let mut row = vec![format!("{rps:.0}")];
-        for (i, s) in lineup.iter().enumerate() {
-            let r = run_scheme(&config, s.as_ref(), &trace);
+        for (i, _) in lineup.iter().enumerate() {
+            let r = &results[l * lineup.len() + i];
             row.push(format!("{:.2}", r.slo_compliance_pct));
             curves[i].push((rps, r.slo_compliance_pct));
         }
         rows.push(row);
-        eprintln!("  done: {rps:.0} rps");
     }
     table(&header_refs, &rows);
     println!();

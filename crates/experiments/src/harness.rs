@@ -1,0 +1,304 @@
+//! Parallel experiment harness: fans independent simulation cells out
+//! over a scoped worker pool.
+//!
+//! Every figure/table in the reproduction is a grid of independent
+//! `(scheme, seed, trace)` simulations. Each cell derives all of its
+//! randomness from its own `ClusterConfig::seed` via
+//! `protean_sim::RngFactory`, and shares no mutable state with any
+//! other cell, so cells can run on any thread in any order and the
+//! grid's results are **bit-identical** to a sequential run. The
+//! harness exploits that: [`run_grid`] executes cells on
+//! `std::thread::scope` workers pulling from an atomic work index and
+//! writes each result back into its input slot, so output order always
+//! matches input order regardless of scheduling.
+//!
+//! Thread count resolution (first match wins):
+//!
+//! 1. an explicit `--threads` CLI override, where the binary passes one
+//!    (see [`thread_count_or`]);
+//! 2. the `PROTEAN_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! [`TimingReport`] / [`write_bench_json`] record wall-clock for the
+//! `harness_timing` binary, which writes `results/bench_pr1.json` so
+//! later PRs have a perf trajectory to regress against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use protean_cluster::{ClusterConfig, SchemeBuilder};
+use protean_trace::TraceConfig;
+
+use crate::runner::{run_scheme, SchemeRow};
+
+/// Resolves the worker-pool size from `PROTEAN_THREADS` or the
+/// machine's available parallelism.
+pub fn thread_count() -> usize {
+    thread_count_or(None)
+}
+
+/// Resolves the worker-pool size, preferring an explicit override
+/// (e.g. a `--threads` CLI flag) over `PROTEAN_THREADS` over
+/// [`std::thread::available_parallelism`].
+pub fn thread_count_or(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("PROTEAN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on `threads` scoped workers, returning results
+/// in input order. With `threads <= 1` (or one item) it degenerates to
+/// a plain sequential loop on the calling thread.
+///
+/// Workers claim items through an atomic index and write results back
+/// into the item's own slot, so the output order is deterministic even
+/// though execution order is not. A panic inside `f` propagates once
+/// the scope joins.
+pub fn run_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                slots.lock().expect("result mutex poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// One independent simulation of a grid: a scheme over a trace under a
+/// cluster config (which carries the cell's seed).
+pub struct GridCell<'a> {
+    /// Cluster configuration, including the cell's root seed.
+    pub config: ClusterConfig,
+    /// The scheme under test.
+    pub scheme: &'a dyn SchemeBuilder,
+    /// The workload.
+    pub trace: TraceConfig,
+    /// Progress label (e.g. `"ResNet50/PROTEAN"`); when non-empty the
+    /// grid prints `[done/total] label` to stderr as cells finish.
+    pub label: String,
+}
+
+impl<'a> GridCell<'a> {
+    /// A cell with no progress label.
+    pub fn new(config: ClusterConfig, scheme: &'a dyn SchemeBuilder, trace: TraceConfig) -> Self {
+        GridCell {
+            config,
+            scheme,
+            trace,
+            label: String::new(),
+        }
+    }
+
+    /// Attaches a progress label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Runs every cell on a pool of `threads` workers and returns one
+/// [`SchemeRow`] per cell, in input order. Results are bit-identical
+/// for any `threads` value (each cell owns its seed; see module docs).
+pub fn run_grid(cells: &[GridCell<'_>], threads: usize) -> Vec<SchemeRow> {
+    let done = AtomicUsize::new(0);
+    run_parallel(cells, threads, |_, cell| {
+        let row = run_scheme(&cell.config, cell.scheme, &cell.trace);
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !cell.label.is_empty() {
+            eprintln!("  [{finished}/{}] {}", cells.len(), cell.label);
+        }
+        row
+    })
+}
+
+/// Wall-clock record for one experiment grid, written to
+/// `results/bench_pr1.json` by the `harness_timing` binary.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Experiment name (e.g. `"fig05_slo_vision"`).
+    pub experiment: String,
+    /// Cells in the grid.
+    pub cells: usize,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Wall-clock of the sequential (1-thread) run, seconds.
+    pub sequential_secs: f64,
+    /// Wall-clock of the parallel run, seconds.
+    pub parallel_secs: f64,
+}
+
+impl TimingReport {
+    /// Sequential / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.sequential_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Cells completed per second in the parallel run.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.cells as f64 / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Serializes timing reports as JSON (hand-rolled — the workspace has
+/// no serde) in the `results/bench_pr1.json` format documented in
+/// DESIGN.md.
+pub fn timing_json(threads: usize, reports: &[TimingReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"harness\": \"run_grid\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cells\": {}, \"threads\": {}, \
+             \"sequential_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"cells_per_sec\": {:.3}}}{}\n",
+            r.experiment,
+            r.cells,
+            r.threads,
+            r.sequential_secs,
+            r.parallel_secs,
+            r.speedup(),
+            r.cells_per_sec(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `timing_json` to `path`, creating parent directories.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    threads: usize,
+    reports: &[TimingReport],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, timing_json(threads, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::PaperSetup;
+    use protean_baselines::Baseline;
+    use protean_models::ModelId;
+
+    #[test]
+    fn run_parallel_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = run_parallel(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_parallel_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_parallel(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(run_parallel(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn thread_count_prefers_explicit_override() {
+        assert_eq!(thread_count_or(Some(3)), 3);
+        assert_eq!(thread_count_or(Some(0)), 1);
+        assert!(thread_count_or(None) >= 1);
+    }
+
+    #[test]
+    fn grid_rows_match_sequential_run_scheme() {
+        let setup = PaperSetup {
+            duration_secs: 10.0,
+            seed: 11,
+        };
+        let mut config = setup.cluster();
+        config.workers = 2;
+        let schemes: [&dyn protean_cluster::SchemeBuilder; 2] =
+            [&Baseline::MoleculeBeta, &Baseline::NaiveSlicing];
+        let cells: Vec<GridCell<'_>> = schemes
+            .iter()
+            .map(|s| {
+                GridCell::new(
+                    config.clone(),
+                    *s,
+                    setup.constant_trace(ModelId::MobileNet, 300.0),
+                )
+            })
+            .collect();
+        let parallel = run_grid(&cells, 2);
+        let sequential = run_grid(&cells, 1);
+        assert_eq!(parallel.len(), 2);
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.scheme, s.scheme);
+            assert_eq!(p.slo_compliance_pct, s.slo_compliance_pct);
+            assert_eq!(p.strict_p99_ms, s.strict_p99_ms);
+            assert_eq!(p.cost_usd, s.cost_usd);
+        }
+    }
+
+    #[test]
+    fn timing_json_shape() {
+        let reports = vec![TimingReport {
+            experiment: "demo".into(),
+            cells: 8,
+            threads: 4,
+            sequential_secs: 2.0,
+            parallel_secs: 0.5,
+        }];
+        let json = timing_json(4, &reports);
+        assert!(json.contains("\"harness\": \"run_grid\""));
+        assert!(json.contains("\"name\": \"demo\""));
+        assert!(json.contains("\"speedup\": 4.000"));
+        assert!(json.contains("\"cells_per_sec\": 16.000"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

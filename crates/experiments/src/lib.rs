@@ -13,6 +13,10 @@
 //!   interference class every ~20 s, and the 8-worker cluster.
 //! * [`runner`] — runs one scheme over one workload and condenses the
 //!   result into a [`runner::SchemeRow`].
+//! * [`harness`] — fans a grid of independent cells out over a
+//!   `std::thread::scope` worker pool ([`harness::run_grid`]) with
+//!   bit-identical results to a sequential run; thread count comes
+//!   from `--threads` / `PROTEAN_THREADS` / available parallelism.
 //! * [`report`] — fixed-width table and CSV-series printers so every
 //!   binary's output is regular enough to diff across runs.
 //!
@@ -28,10 +32,12 @@
 //! full regenerations use the same code path.
 
 pub mod chart;
+pub mod harness;
 pub mod report;
 pub mod runner;
 pub mod schemes;
 pub mod setup;
 
+pub use harness::{run_grid, run_parallel, thread_count, thread_count_or, GridCell};
 pub use runner::{run_scheme, SchemeRow};
 pub use setup::PaperSetup;

@@ -59,18 +59,19 @@ pub fn run_scheme(
     let slo = move |m: ModelId| catalog.profile(m).slo_with_multiplier(multiplier);
     let measured = duration_after_warmup(config, trace);
     let m = &result.metrics;
+    // One sort per class serves every percentile and the tail cut.
+    let strict = m.sorted_latencies(Class::Strict);
+    let be = m.sorted_latencies(Class::BestEffort);
     SchemeRow {
         scheme: result.scheme.clone(),
         slo_compliance_pct: m.slo_compliance(&slo) * 100.0,
-        strict_p50_ms: m.latency_percentile_ms(Class::Strict, 0.50).unwrap_or(0.0),
-        strict_p99_ms: m.latency_percentile_ms(Class::Strict, 0.99).unwrap_or(0.0),
-        be_p50_ms: m
-            .latency_percentile_ms(Class::BestEffort, 0.50)
-            .unwrap_or(0.0),
-        be_p99_ms: m
-            .latency_percentile_ms(Class::BestEffort, 0.99)
-            .unwrap_or(0.0),
-        tail_breakdown: m.tail_breakdown(Class::Strict, 0.99).unwrap_or_default(),
+        strict_p50_ms: strict.p50().unwrap_or(0.0),
+        strict_p99_ms: strict.p99().unwrap_or(0.0),
+        be_p50_ms: be.p50().unwrap_or(0.0),
+        be_p99_ms: be.p99().unwrap_or(0.0),
+        tail_breakdown: m
+            .tail_breakdown_with(Class::Strict, &strict, 0.99)
+            .unwrap_or_default(),
         strict_throughput: m.throughput_per_gpu(Class::Strict, measured, result.workers),
         total_throughput: m.throughput_per_gpu(Class::All, measured, result.workers),
         gpu_util_pct: result.compute_utilization * 100.0,

@@ -170,9 +170,14 @@ mod tests {
         let mut occupied = [false; MEMORY_SLICES];
         for (p, start) in &placement {
             assert!(p.allowed_starts().contains(start), "{p} at {start}");
-            for s in *start..*start + p.memory_slices() {
-                assert!(!occupied[s], "overlap at slice {s}");
-                occupied[s] = true;
+            for (s, slot) in occupied
+                .iter_mut()
+                .enumerate()
+                .skip(*start)
+                .take(p.memory_slices())
+            {
+                assert!(!*slot, "overlap at slice {s}");
+                *slot = true;
             }
         }
     }
@@ -222,9 +227,9 @@ mod tests {
                     let mut occupied = [false; MEMORY_SLICES];
                     for (p, start) in placement {
                         prop_assert!(p.allowed_starts().contains(&start));
-                        for s in start..start + p.memory_slices() {
-                            prop_assert!(!occupied[s]);
-                            occupied[s] = true;
+                        for slot in occupied.iter_mut().skip(start).take(p.memory_slices()) {
+                            prop_assert!(!*slot);
+                            *slot = true;
                         }
                     }
                 }

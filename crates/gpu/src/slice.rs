@@ -13,7 +13,7 @@ use std::fmt;
 
 use protean_sim::{Accumulator, SimDuration, SimTime};
 
-use crate::interference::slowdown_factor;
+use crate::interference::slowdown_factor_iter;
 use crate::profile::SliceProfile;
 
 /// Identifier of a job (a request batch) running on a GPU.
@@ -247,12 +247,8 @@ impl Slice {
         match self.mode {
             SharingMode::TimeShared => 1.0,
             SharingMode::Mps => {
-                let shares: Vec<f64> = self
-                    .running
-                    .iter()
-                    .map(|r| self.fbr_share(&r.spec))
-                    .collect();
-                slowdown_factor(&shares) + cache_penalty(self.running.len())
+                slowdown_factor_iter(self.running.iter().map(|r| self.fbr_share(&r.spec)))
+                    + cache_penalty(self.running.len())
             }
         }
     }
@@ -373,31 +369,24 @@ impl Slice {
     fn advance(&mut self, now: SimTime) {
         let elapsed_us = now.saturating_since(self.last_advance).as_micros() as f64;
         if elapsed_us > 0.0 && !self.running.is_empty() {
-            let slowdowns = self.job_slowdowns();
-            for (r, sd) in self.running.iter_mut().zip(slowdowns) {
+            let total = self.fbr_load();
+            let n = self.running.len();
+            for i in 0..n {
+                let sd = self.job_slowdown(&self.running[i].spec, total, n);
+                let r = &mut self.running[i];
                 r.remaining_us = (r.remaining_us - elapsed_us / sd).max(0.0);
             }
         }
         self.last_advance = self.last_advance.max(now);
     }
 
-    /// Per-resident-job slowdowns under the current membership.
-    fn job_slowdowns(&self) -> Vec<f64> {
+    /// The slowdown of one resident job given the precomputed total
+    /// share load `total` and job count `n` — evaluated per job without
+    /// materialising a slowdown vector.
+    fn job_slowdown(&self, spec: &JobSpec, total: f64, n: usize) -> f64 {
         match self.mode {
-            SharingMode::TimeShared => vec![1.0; self.running.len()],
-            SharingMode::Mps => {
-                let shares: Vec<f64> = self
-                    .running
-                    .iter()
-                    .map(|r| self.fbr_share(&r.spec))
-                    .collect();
-                let total: f64 = shares.iter().sum();
-                let n = self.running.len();
-                shares
-                    .into_iter()
-                    .map(|s| Self::slowdown_of_share(s, total, n))
-                    .collect()
-            }
+            SharingMode::TimeShared => 1.0,
+            SharingMode::Mps => Self::slowdown_of_share(self.fbr_share(spec), total, n),
         }
     }
 
@@ -410,14 +399,17 @@ impl Slice {
 
     /// Current completion projections for all resident jobs.
     pub fn project_completions(&self, now: SimTime) -> Vec<Completion> {
-        let slowdowns = self.job_slowdowns();
+        let total = self.fbr_load();
+        let n = self.running.len();
         self.running
             .iter()
-            .zip(slowdowns)
-            .map(|(r, sd)| Completion {
-                job: r.spec.id,
-                at: now + SimDuration::from_micros((r.remaining_us * sd).ceil() as u64),
-                generation: self.generation,
+            .map(|r| {
+                let sd = self.job_slowdown(&r.spec, total, n);
+                Completion {
+                    job: r.spec.id,
+                    at: now + SimDuration::from_micros((r.remaining_us * sd).ceil() as u64),
+                    generation: self.generation,
+                }
             })
             .collect()
     }
@@ -505,10 +497,6 @@ mod tests {
             fbr,
             mem_gb: mem,
         }
-    }
-
-    fn t(secs: f64) -> SimTime {
-        SimTime::from_secs(secs)
     }
 
     /// Completion instants are ceiled onto the microsecond clock, so

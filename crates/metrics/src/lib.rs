@@ -32,4 +32,4 @@ pub mod record;
 pub mod stats;
 
 pub use record::{LatencyBreakdown, MetricsSet, RequestRecord, Summary};
-pub use stats::{cohens_d, mean_ci95, percentile, welch_t_test, TTestResult};
+pub use stats::{cohens_d, mean_ci95, percentile, welch_t_test, SortedLatencies, TTestResult};

@@ -3,7 +3,7 @@
 use protean_models::ModelId;
 use protean_sim::{SimDuration, SimTime};
 
-use crate::stats::percentile;
+use crate::stats::SortedLatencies;
 
 /// Where a completed request's end-to-end latency went, in milliseconds.
 ///
@@ -135,21 +135,41 @@ impl MetricsSet {
         }
     }
 
+    /// The latencies of `class` sorted once into a [`SortedLatencies`]
+    /// view. Build this when a report needs several quantiles, a CDF or
+    /// a tail cut from the same class — each query then reuses the one
+    /// sort instead of re-sorting per call.
+    pub fn sorted_latencies(&self, class: Class) -> SortedLatencies {
+        SortedLatencies::from_unsorted(self.latencies_ms(class))
+    }
+
     /// The `q`-quantile latency (ms) for `class`; `None` if empty.
+    ///
+    /// Sorts on every call; for repeated queries use
+    /// [`MetricsSet::sorted_latencies`].
     pub fn latency_percentile_ms(&self, class: Class, q: f64) -> Option<f64> {
-        let lats = self.latencies_ms(class);
-        if lats.is_empty() {
-            None
-        } else {
-            Some(percentile(&lats, q))
-        }
+        self.sorted_latencies(class).percentile(q)
     }
 
     /// Mean latency breakdown over the requests of `class` whose latency
     /// is at or above that class's `q`-quantile — the stacked "tail
     /// breakdown" of Figs. 2/6/11.
+    ///
+    /// Sorts on every call; when the caller already holds the class's
+    /// [`SortedLatencies`], use [`MetricsSet::tail_breakdown_with`].
     pub fn tail_breakdown(&self, class: Class, q: f64) -> Option<LatencyBreakdown> {
-        let cut = self.latency_percentile_ms(class, q)?;
+        self.tail_breakdown_with(class, &self.sorted_latencies(class), q)
+    }
+
+    /// [`MetricsSet::tail_breakdown`] with the `q`-cut taken from an
+    /// already-sorted view of the same class (no extra sort).
+    pub fn tail_breakdown_with(
+        &self,
+        class: Class,
+        sorted: &SortedLatencies,
+        q: f64,
+    ) -> Option<LatencyBreakdown> {
+        let cut = sorted.percentile(q)?;
         let tail: Vec<&RequestRecord> = self
             .iter_class(class)
             .filter(|r| r.latency().as_millis_f64() >= cut)
@@ -177,18 +197,7 @@ impl MetricsSet {
     /// The latency CDF for `class`: `points` evenly spaced quantiles as
     /// `(latency_ms, cumulative_fraction)` pairs (Fig. 8).
     pub fn latency_cdf(&self, class: Class, points: usize) -> Vec<(f64, f64)> {
-        let mut lats = self.latencies_ms(class);
-        if lats.is_empty() || points == 0 {
-            return Vec::new();
-        }
-        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        (1..=points)
-            .map(|i| {
-                let frac = i as f64 / points as f64;
-                let idx = ((lats.len() as f64 * frac).ceil() as usize - 1).min(lats.len() - 1);
-                (lats[idx], frac)
-            })
-            .collect()
+        self.sorted_latencies(class).cdf(points)
     }
 
     /// Completed requests of `class` per GPU per second — the paper's
@@ -200,24 +209,19 @@ impl MetricsSet {
         self.count(class) as f64 / duration.as_secs_f64() / gpus as f64
     }
 
-    /// A compact summary for tables.
+    /// A compact summary for tables. Each class's latency vector is
+    /// sorted exactly once.
     pub fn summary(&self, slo: &dyn Fn(ModelId) -> SimDuration) -> Summary {
+        let strict = self.sorted_latencies(Class::Strict);
+        let be = self.sorted_latencies(Class::BestEffort);
         Summary {
             total: self.count(Class::All),
             strict: self.count(Class::Strict),
             slo_compliance: self.slo_compliance(slo),
-            strict_p50_ms: self
-                .latency_percentile_ms(Class::Strict, 0.50)
-                .unwrap_or(0.0),
-            strict_p99_ms: self
-                .latency_percentile_ms(Class::Strict, 0.99)
-                .unwrap_or(0.0),
-            be_p50_ms: self
-                .latency_percentile_ms(Class::BestEffort, 0.50)
-                .unwrap_or(0.0),
-            be_p99_ms: self
-                .latency_percentile_ms(Class::BestEffort, 0.99)
-                .unwrap_or(0.0),
+            strict_p50_ms: strict.p50().unwrap_or(0.0),
+            strict_p99_ms: strict.p99().unwrap_or(0.0),
+            be_p50_ms: be.p50().unwrap_or(0.0),
+            be_p99_ms: be.p99().unwrap_or(0.0),
         }
     }
 }

@@ -19,18 +19,108 @@ pub struct TTestResult {
     pub p_value: f64,
 }
 
+/// A latency sample sorted **once**, serving any number of quantile,
+/// CDF and tail queries without re-sorting.
+///
+/// `percentile(&v, q)` re-sorts on every call, which is fine for a
+/// single query but quadratic-ish when a report wants P50, P99, a CDF
+/// and a tail cut from the same vector. Build one `SortedLatencies`
+/// per class per run and read everything off it.
+#[derive(Debug, Clone, Default)]
+pub struct SortedLatencies {
+    sorted: Vec<f64>,
+}
+
+impl SortedLatencies {
+    /// Sorts `values` (ascending) into a reusable view. This is the
+    /// only sort; every query afterwards is O(1) or O(points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn from_unsorted(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        SortedLatencies { sorted: values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The ascending sample.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The `q`-quantile (nearest-rank); `None` if the sample is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((self.sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
+        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    }
+
+    /// Median; `None` if empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile; `None` if empty.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(0.99)
+    }
+
+    /// Smallest observation; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest observation; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// `points` evenly spaced quantiles as `(value, cumulative_fraction)`
+    /// pairs — the latency CDF of Fig. 8. Empty if the sample is empty
+    /// or `points` is 0.
+    pub fn cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((self.sorted.len() as f64 * frac).ceil() as usize - 1)
+                    .min(self.sorted.len() - 1);
+                (self.sorted[idx], frac)
+            })
+            .collect()
+    }
+}
+
 /// The `q`-quantile of `values` (nearest-rank on the sorted sample).
+///
+/// Sorts a copy of `values` on every call. For repeated queries over
+/// the same sample, build a [`SortedLatencies`] instead.
 ///
 /// # Panics
 ///
 /// Panics if `values` is empty or `q` is outside `[0, 1]`.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    assert!(!values.is_empty(), "percentile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
-    sorted[rank.min(sorted.len() - 1)]
+    let sorted = SortedLatencies::from_unsorted(values.to_vec());
+    sorted.percentile(q).expect("percentile of empty sample")
 }
 
 fn mean(values: &[f64]) -> f64 {
@@ -185,19 +275,57 @@ mod tests {
         assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
     }
 
+    #[test]
+    fn sorted_latencies_matches_percentile() {
+        let v: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        let s = SortedLatencies::from_unsorted(v.clone());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), Some(percentile(&v, q)));
+        }
+        assert_eq!(s.p50(), Some(50.0));
+        assert_eq!(s.p99(), Some(99.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn sorted_latencies_empty_sample() {
+        let s = SortedLatencies::from_unsorted(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.min(), None);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn sorted_latencies_cdf_monotone() {
+        let s = SortedLatencies::from_unsorted((1..=50).map(f64::from).collect());
+        let cdf = s.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, 50.0);
+        assert!(s.cdf(0).is_empty());
+    }
+
     proptest! {
-        /// Percentile is bounded by the sample extremes and monotone in q.
+        /// Percentile is bounded by the sample extremes and monotone in
+        /// q — all queries served from ONE sorted view.
         #[test]
         fn prop_percentile_bounds(
-            mut v in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            v in proptest::collection::vec(-1e6f64..1e6, 1..200),
             q1 in 0.0f64..1.0, q2 in 0.0f64..1.0,
         ) {
             let lo = q1.min(q2);
             let hi = q1.max(q2);
-            let p_lo = percentile(&v, lo);
-            let p_hi = percentile(&v, hi);
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            prop_assert!(p_lo >= v[0] && p_hi <= *v.last().unwrap());
+            let s = SortedLatencies::from_unsorted(v);
+            let p_lo = s.percentile(lo).unwrap();
+            let p_hi = s.percentile(hi).unwrap();
+            prop_assert!(p_lo >= s.min().unwrap() && p_hi <= s.max().unwrap());
             prop_assert!(p_lo <= p_hi);
         }
 

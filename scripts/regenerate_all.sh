@@ -3,6 +3,12 @@
 # order, writing each binary's output to results/<id>.txt.
 #
 # Usage: scripts/regenerate_all.sh [duration_secs] [seed]
+#
+# The grid-based binaries run their cells on the parallel harness;
+# set PROTEAN_THREADS to pin the worker-thread count (defaults to the
+# machine's available parallelism):
+#
+#   PROTEAN_THREADS=8 scripts/regenerate_all.sh 120 42
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +16,9 @@ DURATION="${1:-120}"
 SEED="${2:-42}"
 OUT=results
 mkdir -p "$OUT"
+
+echo "threads: ${PROTEAN_THREADS:-auto (available parallelism)}"
+START_EPOCH=$(date +%s)
 
 cargo build --release -p protean-experiments
 
@@ -48,4 +57,11 @@ done
 echo ">>> stats_significance"
 ./target/release/stats_significance 60 10 >"$OUT/stats_significance.txt" 2>/dev/null
 
+# Harness timing: sequential-vs-parallel wall-clock per grid, written
+# to results/bench_pr1.json for the perf trajectory.
+echo ">>> harness_timing"
+./target/release/harness_timing 20 "$SEED" >"$OUT/harness_timing.txt" 2>/dev/null
+
+TOTAL=$(($(date +%s) - START_EPOCH))
 echo "All outputs written to $OUT/"
+echo "Total wall-clock: ${TOTAL}s"

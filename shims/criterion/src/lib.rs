@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no network access and
+//! no crates.io mirror, so the workspace vendors a minimal,
+//! API-compatible subset of `criterion` 0.5: [`Criterion`],
+//! `bench_function` / `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, [`BatchSize`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — one warmup iteration, then
+//! `sample_size` timed iterations, reporting mean / min / max to
+//! stdout. There are no HTML reports, no statistical regression tests
+//! and no saved baselines; the numbers are for eyeballing hot-path
+//! changes, which is all this workspace's benches do with them.
+//!
+//! See `shims/README.md` for how to swap the registry crate back in.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: times closures and prints a one-line summary per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as the benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples_target: self.sample_size,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Starts a named group; benchmarks report as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group (prefixes member benchmark ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as the benchmark named `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Overrides the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup; the shim sets up per iteration
+/// regardless, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the measured code.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_target: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` once per sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f()); // warmup, untimed
+        for _ in 0..self.samples_target {
+            let start = Instant::now();
+            let out = f();
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+
+    /// Times `routine` on fresh `setup()` output per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup, untimed
+        for _ in 0..self.samples_target {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} no samples recorded");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a group function running each target against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_returns() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0usize;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 5 timed samples + 1 warmup.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0usize;
+        let mut routines = 0usize;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64, 2, 3]
+                },
+                |v| {
+                    routines += 1;
+                    v.iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 5);
+        assert_eq!(routines, 5);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("member", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

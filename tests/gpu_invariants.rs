@@ -34,7 +34,7 @@ proptest! {
         let mut resident: Vec<(usize, JobId)> = Vec::new();
         let mut clock = SimTime::ZERO;
         for (i, (solo, fbr, mem)) in jobs.into_iter().enumerate() {
-            clock = clock + SimDuration::from_millis(1.0);
+            clock += SimDuration::from_millis(1.0);
             let slice_idx = i % gpu.slices().len();
             let s = spec(i as u64, solo, fbr, mem);
             match gpu.slice_mut(slice_idx).admit(clock, s) {

@@ -1,0 +1,91 @@
+//! The parallel harness must be a pure wall-clock optimisation: the
+//! same grid run with 1 worker thread and with several yields
+//! bit-identical `SchemeRow`s for every cell. Each cell owns its RNG
+//! streams via `ClusterConfig::seed`, so no result may depend on
+//! thread interleaving.
+
+use protean_experiments::harness::{run_grid, run_parallel, GridCell};
+use protean_experiments::{schemes, PaperSetup, SchemeRow};
+use protean_models::ModelId;
+
+/// Compares every metric the figures and tables read, bitwise for the
+/// floats so "close enough" can never mask a nondeterminism bug.
+fn assert_rows_identical(a: &SchemeRow, b: &SchemeRow, cell: usize) {
+    assert_eq!(a.scheme, b.scheme, "cell {cell}: scheme label");
+    let float_fields = [
+        (
+            "slo_compliance_pct",
+            a.slo_compliance_pct,
+            b.slo_compliance_pct,
+        ),
+        ("strict_p50_ms", a.strict_p50_ms, b.strict_p50_ms),
+        ("strict_p99_ms", a.strict_p99_ms, b.strict_p99_ms),
+        ("be_p50_ms", a.be_p50_ms, b.be_p50_ms),
+        ("be_p99_ms", a.be_p99_ms, b.be_p99_ms),
+        (
+            "strict_throughput",
+            a.strict_throughput,
+            b.strict_throughput,
+        ),
+        ("total_throughput", a.total_throughput, b.total_throughput),
+        ("gpu_util_pct", a.gpu_util_pct, b.gpu_util_pct),
+        ("mem_util_pct", a.mem_util_pct, b.mem_util_pct),
+        ("cost_usd", a.cost_usd, b.cost_usd),
+    ];
+    for (name, x, y) in float_fields {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "cell {cell}: {name} differs ({x} vs {y})"
+        );
+    }
+    assert_eq!(a.evictions, b.evictions, "cell {cell}: evictions");
+    assert_eq!(a.censored, b.censored, "cell {cell}: censored");
+    assert_eq!(a.reconfigs, b.reconfigs, "cell {cell}: reconfigs");
+}
+
+#[test]
+fn one_thread_and_many_threads_agree_on_every_cell() {
+    let lineup = schemes::primary();
+    // A grid that varies model AND seed, so cells genuinely differ and
+    // an index mix-up between input and output order cannot cancel out.
+    let mut cells = Vec::new();
+    for (i, &model) in [ModelId::ResNet50, ModelId::MobileNet].iter().enumerate() {
+        let setup = PaperSetup {
+            duration_secs: 10.0,
+            seed: 100 + i as u64,
+        };
+        for scheme in &lineup {
+            cells.push(GridCell::new(
+                setup.cluster(),
+                scheme.as_ref(),
+                setup.wiki_trace(model),
+            ));
+        }
+    }
+
+    let sequential = run_grid(&cells, 1);
+    let parallel = run_grid(&cells, 4);
+    assert_eq!(sequential.len(), cells.len());
+    assert_eq!(parallel.len(), cells.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_rows_identical(s, p, i);
+    }
+}
+
+#[test]
+fn run_parallel_preserves_input_order() {
+    // Items finish in scrambled order on purpose (larger indices do
+    // less work); the results must still come back in input order.
+    let items: Vec<u64> = (0..64).collect();
+    let doubled = run_parallel(&items, 8, |i, &x| {
+        let spin = (64 - i as u64) * 1000;
+        let mut acc = 0u64;
+        for k in 0..spin {
+            acc = acc.wrapping_add(k);
+        }
+        std::hint::black_box(acc);
+        x * 2
+    });
+    assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+}
