@@ -1,0 +1,69 @@
+//! Event-queue traffic under the next-completion-only scheduling
+//! discipline: each slice keeps at most one live `JobFinish` event, so
+//! heap traffic should track *completions*, not resident-set size.
+//!
+//! Every benchmark prints one `traffic:` line from [`EngineStats`]
+//! before timing — events pushed/popped and finish events per simulated
+//! second, the all-jobs re-projection baseline (counted live by the
+//! engine), the resulting reduction ratio, stale discards and peak heap
+//! size — so a `cargo bench` run tracks the scheduling discipline
+//! alongside wall-clock. The reduction ratio is asserted `>= 2` for the
+//! consolidated MPS run (INFless packs every batch onto one GPU, so its
+//! resident sets are deep); schemes that spread load across 8 workers
+//! sit near 1x because their slices rarely hold more than one job.
+//!
+//! [`EngineStats`]: protean_cluster::EngineStats
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_bench::{bench_cluster, bench_trace};
+use protean_cluster::{run_simulation, SchemeBuilder, SimulationResult};
+
+/// Prints the per-simulated-second traffic digest for one run.
+fn report(id: &str, result: &SimulationResult) -> f64 {
+    let s = result.stats;
+    let sim_secs = result.duration.as_secs_f64().max(1e-9);
+    let reduction = s.finish_events_all_jobs as f64 / (s.finish_events_pushed as f64).max(1.0);
+    println!(
+        "traffic: {id} pushed/s {:.1} popped/s {:.1} finish/s {:.1} \
+         all-jobs/s {:.1} reduction {reduction:.2}x stale {} peak-heap {}",
+        s.events_pushed as f64 / sim_secs,
+        s.events_popped as f64 / sim_secs,
+        s.finish_events_pushed as f64 / sim_secs,
+        s.finish_events_all_jobs as f64 / sim_secs,
+        s.stale_finish_events,
+        s.peak_heap_len,
+    );
+    reduction
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    let config = bench_cluster();
+    let trace = bench_trace();
+    let schemes: &[(&str, &dyn SchemeBuilder)] = &[
+        ("protean_8w_wiki", &ProteanBuilder::paper()),
+        ("consolidated_8w_wiki", &Baseline::InflessLlama),
+        ("time_shared_8w_wiki", &Baseline::MoleculeBeta),
+    ];
+    for (id, scheme) in schemes {
+        let result = run_simulation(&config, *scheme, &trace);
+        let reduction = report(id, &result);
+        if *id == "consolidated_8w_wiki" {
+            assert!(
+                reduction >= 2.0,
+                "{id}: event reduction {reduction:.2}x below the 2x floor"
+            );
+        }
+        c.bench_function(&format!("engine_events/{id}"), |b| {
+            b.iter(|| run_simulation(&config, *scheme, &trace))
+        });
+    }
+}
+
+criterion_group!(
+    name = engine_events;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_events
+);
+criterion_main!(engine_events);

@@ -10,29 +10,33 @@ use protean_sim::{RngFactory, SimDuration, SimTime};
 use protean_trace::{TraceConfig, TraceShape};
 
 /// MPS slice churn: admit four co-located jobs, then retire them in
-/// projection order — the engine's innermost loop.
+/// projection order — the engine's innermost loop. Each membership
+/// change yields a single `next_completion` rather than a re-projection
+/// vector, so the whole churn cycle is allocation-free.
 fn bench_slice_churn(c: &mut Criterion) {
     c.bench_function("slice/admit_finish_churn_x4", |b| {
         b.iter_batched(
             || Slice::new(SliceProfile::G4, SharingMode::Mps, SimTime::ZERO),
             |mut slice| {
-                let mut completions = Vec::new();
+                let mut next = None;
                 for i in 0..4u64 {
-                    completions = slice
-                        .admit(
-                            SimTime::ZERO,
-                            JobSpec {
-                                id: JobId(i),
-                                solo: SimDuration::from_millis(100.0),
-                                fbr: 0.4,
-                                mem_gb: 4.0,
-                            },
-                        )
-                        .expect("admits fit");
+                    next = Some(
+                        slice
+                            .admit(
+                                SimTime::ZERO,
+                                JobSpec {
+                                    id: JobId(i),
+                                    solo: SimDuration::from_millis(100.0),
+                                    fbr: 0.4,
+                                    mem_gb: 4.0,
+                                },
+                            )
+                            .expect("admits fit"),
+                    );
                 }
-                while let Some(first) = completions.iter().min_by_key(|c| c.at).copied() {
+                while let Some(first) = next {
                     let (_, rest) = slice.finish(first.at, first.job).expect("valid completion");
-                    completions = rest;
+                    next = rest;
                 }
                 slice
             },

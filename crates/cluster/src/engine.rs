@@ -1,6 +1,6 @@
 //! The discrete-event engine driving a full cluster simulation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use protean_gpu::{JobId, JobSpec};
 use protean_metrics::{LatencyBreakdown, MetricsSet, RequestRecord};
@@ -152,6 +152,32 @@ pub struct CostReport {
     pub evictions: u64,
 }
 
+/// Event-loop health counters for one run, surfaced in
+/// [`SimulationResult::stats`] so scheduling-discipline optimisations
+/// are observable rather than asserted.
+///
+/// `finish_events_all_jobs` counts what the all-jobs re-projection
+/// discipline *would* push: one `JobFinish` per resident job on every
+/// slice-membership change. The next-completion-only engine pushes at
+/// most one (`finish_events_pushed`), so the ratio between the two is
+/// the heap-traffic reduction, measured per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Total events pushed onto the event queue (all types).
+    pub events_pushed: u64,
+    /// Total events popped from the event queue.
+    pub events_popped: u64,
+    /// Largest heap size reached during the run.
+    pub peak_heap_len: usize,
+    /// `JobFinish` events actually pushed.
+    pub finish_events_pushed: u64,
+    /// `JobFinish` events the all-jobs re-projection discipline would
+    /// have pushed (the pre-optimisation baseline, counted live).
+    pub finish_events_all_jobs: u64,
+    /// `JobFinish` events discarded as stale at pop time.
+    pub stale_finish_events: u64,
+}
+
 /// A completed MIG geometry change (Fig. 7 timeline).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GeometryChange {
@@ -198,6 +224,8 @@ pub struct SimulationResult {
     /// The recorded event journal (empty unless
     /// [`ClusterConfig::journal_capacity`] was set).
     pub journal: Journal,
+    /// Event-loop health counters (heap traffic, stale events).
+    pub stats: EngineStats,
     /// Trace duration (excluding drain grace).
     pub duration: SimDuration,
     /// Worker count.
@@ -300,6 +328,7 @@ struct Engine<'a> {
     /// runs on every dispatch/boot/finish event, so it must not allocate
     /// a fresh `Vec` per pass.
     scratch_views: Vec<(BatchId, BatchView)>,
+    stats: EngineStats,
     reconfigs: u64,
     evictions: u64,
     censored: u64,
@@ -337,6 +366,7 @@ impl<'a> Engine<'a> {
             jitter_rng: factory.stream("engine.exec_jitter"),
             dispatch_policy: scheme.dispatch_policy(),
             scratch_views: Vec::new(),
+            stats: EngineStats::default(),
             reconfigs: 0,
             evictions: 0,
             censored: 0,
@@ -481,9 +511,17 @@ impl<'a> Engine<'a> {
         if self.config.prewarm_containers == 0 {
             return;
         }
+        let mut seen: HashSet<ModelId> = HashSet::new();
         let mut models: Vec<ModelId> = Vec::new();
+        let mut last: Option<ModelId> = None;
         for r in requests {
-            if !models.contains(&r.model) {
+            // Traces run a model for long stretches; skipping repeats of
+            // the previous model avoids hashing every request.
+            if last == Some(r.model) {
+                continue;
+            }
+            last = Some(r.model);
+            if seen.insert(r.model) {
                 models.push(r.model);
             }
         }
@@ -652,7 +690,7 @@ impl<'a> Engine<'a> {
                 };
                 let admitted = w.gpu.slice_mut(p.slice).admit(self.now, spec);
                 match admitted {
-                    Ok(completions) => {
+                    Ok(next) => {
                         let batch = w
                             .sched_queue
                             .remove(batch_id, profile.mem_gb)
@@ -667,19 +705,25 @@ impl<'a> Engine<'a> {
                                 solo_7g_ms: profile.solo_7g.as_millis_f64() * fill_factor * jitter,
                             },
                         );
+                        // One live finish event per slice: the admit
+                        // bumped the generation, so whatever event was
+                        // armed before is now stale. The all-jobs
+                        // discipline would have re-pushed every
+                        // resident here.
                         let epoch = w.epoch;
-                        for c in completions {
-                            self.queue.push(
-                                c.at,
-                                Event::JobFinish {
-                                    worker: idx,
-                                    slice: p.slice,
-                                    job: c.job,
-                                    generation: c.generation,
-                                    epoch,
-                                },
-                            );
-                        }
+                        self.stats.finish_events_all_jobs +=
+                            w.gpu.slice(p.slice).job_count() as u64;
+                        self.stats.finish_events_pushed += 1;
+                        self.queue.push(
+                            next.at,
+                            Event::JobFinish {
+                                worker: idx,
+                                slice: p.slice,
+                                job: next.job,
+                                generation: next.generation,
+                                epoch,
+                            },
+                        );
                         self.journal.record(
                             self.now,
                             JournalEvent::BatchPlaced {
@@ -751,24 +795,46 @@ impl<'a> Engine<'a> {
 
     fn on_job_finish(&mut self, idx: usize, slice: usize, job: JobId, generation: u64, epoch: u64) {
         let w = &mut self.workers[idx];
-        if w.epoch != epoch
-            || slice >= w.gpu.slices().len()
-            || w.gpu.slice(slice).generation() != generation
-        {
+        if !w.finish_event_live(slice, generation, epoch) {
+            self.stats.stale_finish_events += 1;
             return; // stale completion
         }
         let now = self.now;
-        let (finished, reschedules) = match w.gpu.slice_mut(slice).finish(now, job) {
+        let (finished, next) = match w.gpu.slice_mut(slice).finish(now, job) {
             Ok(ok) => ok,
-            Err(_) => return, // stale in a way the generation missed
+            Err(_) => {
+                // Stale in a way the generation missed. The slice's
+                // membership (and generation) did not change, so the
+                // event just consumed was its only live one — re-arm it
+                // or the residents would never finish.
+                self.stats.stale_finish_events += 1;
+                let epoch = w.epoch;
+                if let Some(c) = w.gpu.slice(slice).next_completion(now) {
+                    self.stats.finish_events_pushed += 1;
+                    self.queue.push(
+                        c.at,
+                        Event::JobFinish {
+                            worker: idx,
+                            slice,
+                            job: c.job,
+                            generation: c.generation,
+                            epoch,
+                        },
+                    );
+                }
+                return;
+            }
         };
         let batch_id = BatchId(finished.spec.id.0);
         let Some(running) = w.running.remove(&batch_id) else {
             return;
         };
-        // Re-projected completions for the jobs still on the slice.
+        // Re-arm the slice's single live finish event for the jobs still
+        // resident (the all-jobs discipline would have re-pushed each).
         let new_epoch = w.epoch;
-        for c in reschedules {
+        self.stats.finish_events_all_jobs += w.gpu.slice(slice).job_count() as u64;
+        if let Some(c) = next {
+            self.stats.finish_events_pushed += 1;
             self.queue.push(
                 c.at,
                 Event::JobFinish {
@@ -1166,6 +1232,12 @@ impl<'a> Engine<'a> {
         let compute_utilization = per_gpu_compute_utilization.iter().sum::<f64>() / n;
         let memory_utilization = per_gpu_memory_utilization.iter().sum::<f64>() / n;
         let cold_starts = self.workers.iter().map(Worker::cold_starts).sum();
+        let stats = EngineStats {
+            events_pushed: self.queue.pushed(),
+            events_popped: self.queue.popped(),
+            peak_heap_len: self.queue.peak_len(),
+            ..self.stats
+        };
         SimulationResult {
             scheme,
             metrics: self.metrics,
@@ -1180,6 +1252,7 @@ impl<'a> Engine<'a> {
             geometry_timeline: self.geometry_timeline,
             strict_latency_timeline: self.strict_latency_timeline,
             journal: self.journal,
+            stats,
             duration: self.cutoff.saturating_since(SimTime::ZERO) - self.config.drain_grace,
             workers: self.workers.len(),
         }

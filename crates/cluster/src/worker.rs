@@ -264,6 +264,17 @@ impl Worker {
         matches!(self.status, WorkerStatus::Up)
     }
 
+    /// Re-validates a popped `JobFinish` event: the worker's GPU must
+    /// not have been rebuilt since the event was armed (`epoch`), the
+    /// slice must still exist, and its membership must be unchanged
+    /// (`generation`). The engine keeps one live finish event per slice;
+    /// anything failing this check is stale and gets dropped.
+    pub fn finish_event_live(&self, slice: usize, generation: u64, epoch: u64) -> bool {
+        self.epoch == epoch
+            && slice < self.gpu.slices().len()
+            && self.gpu.slice(slice).generation() == generation
+    }
+
     /// Rebuilds the GPU (VM replacement): fresh geometry, empty pools.
     pub fn reset_runtime(&mut self, now: SimTime) {
         self.gpu = Gpu::new(

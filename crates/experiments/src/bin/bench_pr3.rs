@@ -1,0 +1,242 @@
+//! PR-3 benchmark reporter: event-scheduling heap traffic and the
+//! corrected harness timings, written to `results/bench_pr3.json`.
+//!
+//! Two measurements on the same grids `harness_timing` uses:
+//!
+//! 1. **Event traffic** — per-run [`EngineStats`] aggregated across all
+//!    cells: `JobFinish` events actually pushed by the
+//!    next-completion-only engine vs what the all-jobs re-projection
+//!    discipline would have pushed on the same transitions (counted
+//!    live, so the baseline needs no second engine). Reported per
+//!    simulated second, with the reduction ratio.
+//! 2. **Wall-clock** — sequential vs parallel grid timings, with the
+//!    thread count now capped at available parallelism (the PR-1
+//!    recording requested 8 threads on a 1-core container, which is
+//!    where its < 1× "speedup" came from).
+//!
+//! Usage: `bench_pr3 [duration_secs] [seed]` (defaults 20 s, seed 42).
+//!
+//! [`EngineStats`]: protean_cluster::EngineStats
+
+use std::time::Instant;
+
+use protean_experiments::harness::{run_grid, thread_count, GridCell, TimingReport};
+use protean_experiments::report::{banner, table};
+use protean_experiments::{schemes, PaperSetup, SchemeRow};
+use protean_models::{catalog, ModelId};
+
+/// Event-traffic aggregate over one grid.
+#[derive(Debug, Default, Clone, Copy)]
+struct EventTraffic {
+    cells: usize,
+    sim_secs: f64,
+    events_pushed: u64,
+    events_popped: u64,
+    peak_heap_len: usize,
+    finish_pushed: u64,
+    finish_all_jobs: u64,
+    stale: u64,
+}
+
+impl EventTraffic {
+    fn add(&mut self, row: &SchemeRow) {
+        let s = row.result.stats;
+        self.cells += 1;
+        self.sim_secs += row.result.duration.as_secs_f64();
+        self.events_pushed += s.events_pushed;
+        self.events_popped += s.events_popped;
+        self.peak_heap_len = self.peak_heap_len.max(s.peak_heap_len);
+        self.finish_pushed += s.finish_events_pushed;
+        self.finish_all_jobs += s.finish_events_all_jobs;
+        self.stale += s.stale_finish_events;
+    }
+
+    fn finish_per_sim_sec(&self) -> f64 {
+        self.finish_pushed as f64 / self.sim_secs.max(1e-9)
+    }
+
+    fn all_jobs_per_sim_sec(&self) -> f64 {
+        self.finish_all_jobs as f64 / self.sim_secs.max(1e-9)
+    }
+
+    /// All-jobs finish events over actually pushed ones — the heap
+    /// traffic reduction of next-completion-only scheduling.
+    fn reduction(&self) -> f64 {
+        self.finish_all_jobs as f64 / (self.finish_pushed as f64).max(1.0)
+    }
+}
+
+fn fig05_cells<'a>(
+    setup: &PaperSetup,
+    lineup: &'a [Box<dyn protean_cluster::SchemeBuilder>],
+) -> Vec<GridCell<'a>> {
+    let config = setup.cluster();
+    let vision: Vec<ModelId> = catalog().vision().map(|p| p.id).collect();
+    vision
+        .iter()
+        .flat_map(|&model| lineup.iter().map(move |s| (model, s)))
+        .map(|(model, s)| GridCell::new(config.clone(), s.as_ref(), setup.wiki_trace(model)))
+        .collect()
+}
+
+fn stats_cells<'a>(
+    setup: &PaperSetup,
+    lineup: &'a [Box<dyn protean_cluster::SchemeBuilder>],
+) -> Vec<GridCell<'a>> {
+    (0..8u64)
+        .flat_map(|seed| {
+            let per_seed = PaperSetup {
+                duration_secs: setup.duration_secs,
+                seed: 1000 + seed,
+            };
+            let config = per_seed.cluster();
+            let trace = per_seed.wiki_trace(ModelId::ResNet50);
+            lineup
+                .iter()
+                .map(move |s| GridCell::new(config.clone(), s.as_ref(), trace.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn measure(name: &str, cells: &[GridCell<'_>], threads: usize) -> (TimingReport, EventTraffic) {
+    let t0 = Instant::now();
+    let sequential = run_grid(cells, 1);
+    let sequential_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = run_grid(cells, threads);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    for (a, b) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            a.strict_p99_ms.to_bits(),
+            b.strict_p99_ms.to_bits(),
+            "{name}: parallel run diverged from sequential"
+        );
+    }
+    let mut traffic = EventTraffic::default();
+    for row in &sequential {
+        traffic.add(row);
+    }
+    (
+        TimingReport {
+            experiment: name.to_string(),
+            cells: cells.len(),
+            threads,
+            sequential_secs,
+            parallel_secs,
+        },
+        traffic,
+    )
+}
+
+fn pr3_json(threads: usize, rows: &[(TimingReport, EventTraffic)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"harness\": \"run_grid\",\n");
+    out.push_str("  \"scheduling\": \"next_completion_only\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (r, t)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cells\": {}, \"threads\": {}, \
+             \"sequential_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"cells_per_sec\": {:.3}, \
+             \"sim_secs\": {:.3}, \
+             \"finish_events_pushed\": {}, \"finish_events_all_jobs\": {}, \
+             \"finish_events_per_sim_sec\": {:.3}, \
+             \"all_jobs_events_per_sim_sec\": {:.3}, \
+             \"event_reduction\": {:.3}, \
+             \"stale_finish_events\": {}, \"events_pushed\": {}, \
+             \"events_popped\": {}, \"peak_heap_len\": {}}}{}\n",
+            r.experiment,
+            r.cells,
+            r.threads,
+            r.sequential_secs,
+            r.parallel_secs,
+            r.speedup(),
+            r.cells_per_sec(),
+            t.sim_secs,
+            t.finish_pushed,
+            t.finish_all_jobs,
+            t.finish_per_sim_sec(),
+            t.all_jobs_per_sim_sec(),
+            t.reduction(),
+            t.stale,
+            t.events_pushed,
+            t.events_popped,
+            t.peak_heap_len,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let setup = PaperSetup {
+        duration_secs: args.next().and_then(|a| a.parse().ok()).unwrap_or(20.0),
+        seed: args.next().and_then(|a| a.parse().ok()).unwrap_or(42),
+    };
+    let threads = thread_count();
+    banner(
+        "bench_pr3",
+        &format!(
+            "{} s per cell grid, {} worker threads (capped at available cores)",
+            setup.duration_secs, threads
+        ),
+    );
+
+    let lineup = schemes::primary();
+    let mut rows = Vec::new();
+    let cells = fig05_cells(&setup, &lineup);
+    rows.push(measure("fig05_slo_vision", &cells, threads));
+    let cells = stats_cells(&setup, &lineup);
+    rows.push(measure("stats_significance", &cells, threads));
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(r, t)| {
+            vec![
+                r.experiment.clone(),
+                r.cells.to_string(),
+                format!("{:.2}", r.sequential_secs),
+                format!("{:.2}x", r.speedup()),
+                format!("{:.0}", t.finish_per_sim_sec()),
+                format!("{:.0}", t.all_jobs_per_sim_sec()),
+                format!("{:.2}x", t.reduction()),
+                t.stale.to_string(),
+                t.peak_heap_len.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "experiment",
+            "cells",
+            "seq s",
+            "speedup",
+            "finish ev/s",
+            "all-jobs ev/s",
+            "reduction",
+            "stale",
+            "peak heap",
+        ],
+        &printable,
+    );
+
+    for (r, t) in &rows {
+        assert!(
+            t.reduction() >= 2.0,
+            "{}: event reduction {:.2}x below the 2x acceptance floor",
+            r.experiment,
+            t.reduction()
+        );
+    }
+
+    let path = std::path::Path::new("results/bench_pr3.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create results/");
+    }
+    std::fs::write(path, pr3_json(threads, &rows)).expect("write results/bench_pr3.json");
+    println!("\nwrote {}", path.display());
+}

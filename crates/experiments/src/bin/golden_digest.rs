@@ -1,0 +1,12 @@
+//! Prints the golden result digests `tests/golden_seed.rs` pins.
+//!
+//! Run after an *intentional* behaviour change and paste the output
+//! into the `EXPECTED` table of the test. An unintentional mismatch is
+//! a regression — the engine's results must be bit-identical across
+//! pure-performance refactors.
+
+fn main() {
+    for line in protean_experiments::golden::golden_digests() {
+        println!("{line}");
+    }
+}

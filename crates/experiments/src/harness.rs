@@ -15,16 +15,24 @@
 //! Thread count resolution (first match wins):
 //!
 //! 1. an explicit `--threads` CLI override, where the binary passes one
-//!    (see [`thread_count_or`]);
-//! 2. the `PROTEAN_THREADS` environment variable;
+//!    (see [`thread_count_or`]) — taken verbatim;
+//! 2. the `PROTEAN_THREADS` environment variable, capped at
+//!    [`std::thread::available_parallelism`] — simulation cells are
+//!    CPU-bound, so oversubscribing physical cores only adds context
+//!    switches (the PR-1 `bench_pr1.json` run recorded a < 1× "speedup"
+//!    from exactly this: 8 requested threads on a 1-core container);
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! [`run_grid`] additionally shrinks the pool so each worker gets at
+//! least [`MIN_CELLS_PER_THREAD`] cells, degrading to a plain
+//! sequential loop for small grids where thread startup would dominate.
 //!
 //! [`TimingReport`] / [`write_bench_json`] record wall-clock for the
 //! `harness_timing` binary, which writes `results/bench_pr1.json` so
 //! later PRs have a perf trajectory to regress against.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use protean_cluster::{ClusterConfig, SchemeBuilder};
 use protean_trace::TraceConfig;
@@ -44,17 +52,45 @@ pub fn thread_count_or(explicit: Option<usize>) -> usize {
     if let Some(n) = explicit {
         return n.max(1);
     }
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     if let Some(n) = std::env::var("PROTEAN_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
         if n >= 1 {
-            return n;
+            // Cells are CPU-bound; more workers than cores is pure
+            // context-switch overhead.
+            return n.min(hw);
         }
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    hw
+}
+
+/// Per-item result slots written lock-free by the worker pool.
+///
+/// The atomic work index hands each item index to exactly one worker,
+/// so the `UnsafeCell` writes are disjoint, and `thread::scope`'s join
+/// happens-before the reads at collection time. A `Mutex` here is not
+/// wrong, just contended: every cell completion serialized on one lock,
+/// which is measurable on grids of millisecond-scale cells.
+struct ResultSlots<R>(Vec<UnsafeCell<Option<R>>>);
+
+// SAFETY: see the struct docs — slot access is partitioned by the work
+// index, never concurrent on the same element.
+unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
+impl<R> ResultSlots<R> {
+    /// Fills slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread holding index `i` (here:
+    /// guaranteed by the atomic work index).
+    unsafe fn write(&self, i: usize, value: R) {
+        unsafe { *self.0[i].get() = Some(value) };
+    }
 }
 
 /// Runs `f` over `items` on `threads` scoped workers, returning results
@@ -76,8 +112,9 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let slots = ResultSlots((0..items.len()).map(|_| UnsafeCell::new(None)).collect());
     std::thread::scope(|scope| {
+        let slots = &slots;
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -85,15 +122,15 @@ where
                     break;
                 }
                 let result = f(i, &items[i]);
-                slots.lock().expect("result mutex poisoned")[i] = Some(result);
+                // SAFETY: index `i` was claimed by this worker alone.
+                unsafe { slots.write(i, result) };
             });
         }
     });
     slots
-        .into_inner()
-        .expect("result mutex poisoned")
+        .0
         .into_iter()
-        .map(|slot| slot.expect("every slot filled by a worker"))
+        .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
         .collect()
 }
 
@@ -129,10 +166,21 @@ impl<'a> GridCell<'a> {
     }
 }
 
+/// Minimum grid cells per worker thread before [`run_grid`] spawns it.
+/// A cell simulates in single-digit milliseconds at the reduced
+/// durations the timing harness uses, so a thread must have a few cells
+/// of work to amortize its spawn cost; small grids run sequentially.
+pub const MIN_CELLS_PER_THREAD: usize = 4;
+
 /// Runs every cell on a pool of `threads` workers and returns one
 /// [`SchemeRow`] per cell, in input order. Results are bit-identical
 /// for any `threads` value (each cell owns its seed; see module docs).
+///
+/// The pool is shrunk so every spawned worker has at least
+/// [`MIN_CELLS_PER_THREAD`] cells; grids smaller than that threshold
+/// fall back to a sequential loop on the calling thread.
 pub fn run_grid(cells: &[GridCell<'_>], threads: usize) -> Vec<SchemeRow> {
+    let threads = threads.min(cells.len() / MIN_CELLS_PER_THREAD).max(1);
     let done = AtomicUsize::new(0);
     run_parallel(cells, threads, |_, cell| {
         let row = run_scheme(&cell.config, cell.scheme, &cell.trace);

@@ -32,6 +32,7 @@
 //! full regenerations use the same code path.
 
 pub mod chart;
+pub mod golden;
 pub mod harness;
 pub mod report;
 pub mod runner;

@@ -19,9 +19,11 @@
 //!
 //! Execution is modelled as processor sharing with a dynamically changing
 //! rate: whenever slice membership changes, every resident job's progress
-//! is advanced at the old slowdown factor and its completion time is
-//! re-projected at the new one. Events carry a generation counter so the
-//! caller can discard stale completions.
+//! is advanced at the old slowdown factor and the slice hands back its
+//! *earliest* re-projected completion ([`Slice::next_completion`]) — the
+//! caller arms a single completion event per slice and replaces it on
+//! the next membership change. Events carry a generation counter so
+//! stale completions can be discarded.
 //!
 //! # Example
 //!
@@ -39,8 +41,10 @@
 //!     fbr: 0.3,
 //!     mem_gb: 6.0,
 //! };
-//! let schedule = slice.admit(SimTime::ZERO, job).unwrap();
-//! assert_eq!(schedule.len(), 1); // alone: finishes after its solo time
+//! let next = slice.admit(SimTime::ZERO, job).unwrap();
+//! // Alone on the slice: finishes after its solo time.
+//! assert_eq!(next.job, JobId(1));
+//! assert_eq!(next.at, SimTime::ZERO + SimDuration::from_millis(100.0));
 //! # Ok::<(), protean_gpu::GeometryError>(())
 //! ```
 

@@ -3,10 +3,20 @@
 //!
 //! MPS execution is modelled as processor sharing with a global slowdown
 //! factor (Eq. 1): all resident jobs progress at rate `1 / slowdown`,
-//! and the slowdown changes whenever slice membership changes. The slice
-//! re-projects every resident job's completion time on each membership
-//! change and hands the projections back to the caller, tagged with a
-//! generation counter so stale events can be discarded.
+//! and the slowdown changes whenever slice membership changes. On each
+//! membership change the slice hands back its **earliest** projected
+//! completion ([`Slice::next_completion`]), tagged with a generation
+//! counter so stale events can be discarded: the caller keeps at most
+//! one live completion event per slice and re-arms it whenever
+//! membership changes, instead of re-projecting every resident job.
+//! [`Slice::project_completions`] still exposes the full projection set
+//! for diagnostics and tests.
+//!
+//! The slice also maintains its Σ FBR-share and Σ memory incrementally:
+//! admission appends to the running sums (bit-identical to a fresh
+//! left-fold) and departure recomputes them from scratch (floating-point
+//! subtraction would not be), so `fbr_load`/`advance` never re-sum the
+//! resident set.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -173,6 +183,11 @@ pub struct Slice {
     mem: Accumulator,
     completed_jobs: u64,
     busy_started: SimTime,
+    /// Cached Σ `fbr_share` over resident jobs; equals the left-fold sum
+    /// of [`Slice::fbr_share`] in admission order at all times.
+    fbr_share_sum: f64,
+    /// Cached Σ `mem_gb` over resident jobs, same discipline.
+    mem_gb_sum: f64,
 }
 
 impl Slice {
@@ -188,6 +203,8 @@ impl Slice {
             mem: Accumulator::new(now),
             completed_jobs: 0,
             busy_started: now,
+            fbr_share_sum: 0.0,
+            mem_gb_sum: 0.0,
         }
     }
 
@@ -209,7 +226,7 @@ impl Slice {
 
     /// Memory currently occupied by resident jobs, in GB.
     pub fn mem_used_gb(&self) -> f64 {
-        self.running.iter().map(|r| r.spec.mem_gb).sum()
+        self.mem_gb_sum
     }
 
     /// Free memory, in GB.
@@ -285,16 +302,28 @@ impl Slice {
 
     /// The raw sum of resident jobs' bandwidth shares (before Eq. 1's
     /// `max(·, 1)`), scaled to this slice's bandwidth. Zero for
-    /// time-shared slices.
+    /// time-shared slices. O(1): served from the incrementally
+    /// maintained sum.
     pub fn fbr_load(&self) -> f64 {
         match self.mode {
             SharingMode::TimeShared => 0.0,
-            SharingMode::Mps => self.running.iter().map(|r| self.fbr_share(&r.spec)).sum(),
+            SharingMode::Mps => self.fbr_share_sum,
         }
     }
 
-    /// Admits a job at `now` and returns fresh completion projections for
-    /// **all** resident jobs (previous projections become stale).
+    /// Rebuilds the cached sums with the same left-fold the fresh
+    /// iterator sums used, so departures stay bit-identical (an
+    /// incremental subtraction would not be).
+    fn recompute_sums(&mut self) {
+        let fbr: f64 = self.running.iter().map(|r| self.fbr_share(&r.spec)).sum();
+        let mem: f64 = self.running.iter().map(|r| r.spec.mem_gb).sum();
+        self.fbr_share_sum = fbr;
+        self.mem_gb_sum = mem;
+    }
+
+    /// Admits a job at `now` and returns the slice's **earliest**
+    /// projected completion (previous projections become stale — the
+    /// caller replaces its single live completion event for this slice).
     ///
     /// # Errors
     ///
@@ -302,7 +331,7 @@ impl Slice {
     ///   memory.
     /// * [`AdmitError::Busy`] if the slice is time-shared and occupied.
     /// * [`AdmitError::DuplicateJob`] if the id is already resident.
-    pub fn admit(&mut self, now: SimTime, spec: JobSpec) -> Result<Vec<Completion>, AdmitError> {
+    pub fn admit(&mut self, now: SimTime, spec: JobSpec) -> Result<Completion, AdmitError> {
         if self.running.iter().any(|r| r.spec.id == spec.id) {
             return Err(AdmitError::DuplicateJob(spec.id));
         }
@@ -325,13 +354,18 @@ impl Slice {
             admitted_at: now,
             remaining_us: spec.solo.as_micros() as f64,
         });
+        self.fbr_share_sum += self.fbr_share(&spec);
+        self.mem_gb_sum += spec.mem_gb;
         self.after_membership_change(now);
-        Ok(self.project_completions(now))
+        Ok(self
+            .next_completion(now)
+            .expect("slice just admitted a job"))
     }
 
     /// Completes `job` at `now` (which must match a live completion
-    /// projection) and returns the finished job plus fresh projections
-    /// for the jobs still resident.
+    /// projection) and returns the finished job plus the earliest
+    /// projection among the jobs still resident (`None` if the slice is
+    /// now idle).
     ///
     /// # Errors
     ///
@@ -343,7 +377,7 @@ impl Slice {
         &mut self,
         now: SimTime,
         job: JobId,
-    ) -> Result<(FinishedJob, Vec<Completion>), FinishError> {
+    ) -> Result<(FinishedJob, Option<Completion>), FinishError> {
         self.advance(now);
         let idx = self
             .running
@@ -355,13 +389,14 @@ impl Slice {
         }
         let done = self.running.remove(idx);
         self.completed_jobs += 1;
+        self.recompute_sums();
         self.after_membership_change(now);
         Ok((
             FinishedJob {
                 spec: done.spec,
                 admitted_at: done.admitted_at,
             },
-            self.project_completions(now),
+            self.next_completion(now),
         ))
     }
 
@@ -398,6 +433,9 @@ impl Slice {
     }
 
     /// Current completion projections for all resident jobs.
+    ///
+    /// The event hot path uses [`Slice::next_completion`] instead; this
+    /// full projection set remains for placement diagnostics and tests.
     pub fn project_completions(&self, now: SimTime) -> Vec<Completion> {
         let total = self.fbr_load();
         let n = self.running.len();
@@ -412,6 +450,30 @@ impl Slice {
                 }
             })
             .collect()
+    }
+
+    /// The earliest projected completion among resident jobs, or `None`
+    /// if the slice is idle. Ties resolve to the earliest-admitted
+    /// resident — exactly the event the all-jobs re-projection
+    /// discipline would have delivered first (its contiguous push block
+    /// popped FIFO at equal times), so arming only this one event is
+    /// observationally identical.
+    pub fn next_completion(&self, now: SimTime) -> Option<Completion> {
+        let total = self.fbr_load();
+        let n = self.running.len();
+        let mut best: Option<Completion> = None;
+        for r in &self.running {
+            let sd = self.job_slowdown(&r.spec, total, n);
+            let at = now + SimDuration::from_micros((r.remaining_us * sd).ceil() as u64);
+            if best.is_none_or(|b| at < b.at) {
+                best = Some(Completion {
+                    job: r.spec.id,
+                    at,
+                    generation: self.generation,
+                });
+            }
+        }
+        best
     }
 
     /// Fraction of observed time the slice had at least one resident job.
@@ -513,12 +575,12 @@ mod tests {
     #[test]
     fn solo_job_finishes_after_solo_time() {
         let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
-        let completions = s.admit(SimTime::ZERO, spec(1, 100.0, 0.3, 4.0)).unwrap();
-        assert_eq!(completions.len(), 1);
-        assert_eq!(completions[0].at, SimTime::from_millis(100.0));
-        let (done, rest) = s.finish(completions[0].at, JobId(1)).unwrap();
+        let next = s.admit(SimTime::ZERO, spec(1, 100.0, 0.3, 4.0)).unwrap();
+        assert_eq!(next.job, JobId(1));
+        assert_eq!(next.at, SimTime::from_millis(100.0));
+        let (done, rest) = s.finish(next.at, JobId(1)).unwrap();
         assert_eq!(done.spec.id, JobId(1));
-        assert!(rest.is_empty());
+        assert_eq!(rest, None);
         assert!(s.is_idle());
         assert_eq!(s.completed_jobs(), 1);
     }
@@ -528,7 +590,11 @@ mod tests {
         // Two jobs with FBR 0.8 on 7g: slowdown = 1.6.
         let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
         s.admit(SimTime::ZERO, spec(1, 100.0, 0.8, 4.0)).unwrap();
-        let completions = s.admit(SimTime::ZERO, spec(2, 100.0, 0.8, 4.0)).unwrap();
+        let next = s.admit(SimTime::ZERO, spec(2, 100.0, 0.8, 4.0)).unwrap();
+        // Both jobs project the same instant; the earliest-admitted
+        // resident wins the tie.
+        assert_eq!(next.job, JobId(1));
+        let completions = s.project_completions(SimTime::ZERO);
         assert_eq!(completions.len(), 2);
         for c in &completions {
             // Bandwidth term 1.6 plus one co-runner's cache penalty.
@@ -556,12 +622,13 @@ mod tests {
         let c = s.admit(SimTime::ZERO, spec(2, 100.0, 0.9, 4.0)).unwrap();
         // Bandwidth term 1.8 plus one co-runner's 0.1 cache penalty
         // (completions are ceiled onto the microsecond clock).
-        let eta = c[0].at;
+        let eta = c.at;
         assert!(eta.saturating_since(SimTime::from_millis(190.0)) <= SimDuration::from_micros(2));
         // Finish job 1 at its projected completion; job 2 is also done.
         let (_, rest) = s.finish(eta, JobId(1)).unwrap();
-        assert_eq!(rest.len(), 1);
-        assert!(rest[0].at.saturating_since(eta) <= SimDuration::from_micros(2));
+        let rest = rest.expect("job 2 still resident");
+        assert_eq!(rest.job, JobId(2));
+        assert!(rest.at.saturating_since(eta) <= SimDuration::from_micros(2));
     }
 
     #[test]
@@ -571,9 +638,13 @@ mod tests {
         // remaining 50ms of work takes 85ms. Total: 135ms.
         let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
         s.admit(SimTime::ZERO, spec(1, 100.0, 0.8, 4.0)).unwrap();
-        let c = s
+        let next = s
             .admit(SimTime::from_millis(50.0), spec(2, 100.0, 0.8, 4.0))
             .unwrap();
+        // Job 1 finishes first and is what the admit hands back.
+        assert_eq!(next.job, JobId(1));
+        assert_close(next.at, 135.0);
+        let c = s.project_completions(SimTime::from_millis(50.0));
         let j1 = c.iter().find(|c| c.job == JobId(1)).unwrap();
         assert_close(j1.at, 135.0);
         let j2 = c.iter().find(|c| c.job == JobId(2)).unwrap();
@@ -633,8 +704,8 @@ mod tests {
         let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
         let g0 = s.generation();
         let c = s.admit(SimTime::ZERO, spec(1, 100.0, 0.2, 1.0)).unwrap();
-        assert_eq!(c[0].generation, g0 + 1);
-        s.finish(c[0].at, JobId(1)).unwrap();
+        assert_eq!(c.generation, g0 + 1);
+        s.finish(c.at, JobId(1)).unwrap();
         assert_eq!(s.generation(), g0 + 2);
     }
 
@@ -642,7 +713,7 @@ mod tests {
     fn busy_fraction_tracks_occupancy() {
         let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
         let c = s.admit(SimTime::ZERO, spec(1, 100.0, 0.2, 1.0)).unwrap();
-        s.finish(c[0].at, JobId(1)).unwrap();
+        s.finish(c.at, JobId(1)).unwrap();
         // Busy 100ms out of 200ms observed.
         assert!((s.busy_fraction(SimTime::from_millis(200.0)) - 0.5).abs() < 1e-9);
         // Memory: 1 GB for half the window.
@@ -673,12 +744,38 @@ mod tests {
         assert!(!q.is_empty());
     }
 
+    /// The earliest-completion invariant: [`Slice::next_completion`] is
+    /// the strict minimum of [`Slice::project_completions`] with ties
+    /// resolved to the earliest-admitted resident, and the cached
+    /// Σ FBR-share matches a fresh re-sum bit for bit.
+    fn assert_next_completion_invariant(s: &Slice, now: SimTime) {
+        let full = s.project_completions(now);
+        let mut expected: Option<Completion> = None;
+        for c in &full {
+            if expected.is_none_or(|b| c.at < b.at) {
+                expected = Some(*c);
+            }
+        }
+        assert_eq!(s.next_completion(now), expected);
+        let fresh: f64 = s
+            .jobs()
+            .map(|sp| sp.fbr / s.profile().bandwidth_fraction())
+            .sum();
+        assert_eq!(
+            s.fbr_load().to_bits(),
+            fresh.to_bits(),
+            "cached fbr sum drifted from fresh re-sum"
+        );
+    }
+
     proptest! {
-        /// Conservation of work: however arrivals interleave, each job's
-        /// total processor-sharing time is at least its solo time, and
-        /// jobs complete exactly when their projections say.
+        /// Conservation of work under the next-completion discipline:
+        /// however arrivals interleave, jobs never finish faster than
+        /// their solo time, draining by always finishing the slice's
+        /// earliest projection empties the slice, and the invariant
+        /// holds after every membership change.
         #[test]
-        fn prop_completions_are_consistent(
+        fn prop_next_completion_drains_slice(
             solos in proptest::collection::vec(10.0f64..200.0, 1..6),
             fbrs in proptest::collection::vec(0.05f64..0.9, 6),
             gaps in proptest::collection::vec(0.0f64..80.0, 6),
@@ -686,31 +783,27 @@ mod tests {
             let mut s = Slice::new(SliceProfile::G7, SharingMode::Mps, SimTime::ZERO);
             let mut admitted_at = std::collections::HashMap::new();
             let mut clock = SimTime::ZERO;
-            let mut projections: std::collections::HashMap<JobId, SimTime> = Default::default();
             for (i, &solo) in solos.iter().enumerate() {
                 clock += SimDuration::from_millis(gaps[i]);
                 let sp = spec(i as u64, solo, fbrs[i], 1.0);
-                let cs = s.admit(clock, sp).unwrap();
+                let next = s.admit(clock, sp).unwrap();
                 admitted_at.insert(sp.id, clock);
-                projections.clear();
-                for c in cs {
-                    projections.insert(c.job, c.at);
-                }
+                prop_assert_eq!(Some(next), s.next_completion(clock));
+                assert_next_completion_invariant(&s, clock);
             }
-            // Drain jobs in projected order, refreshing projections after
-            // each finish (they may only move earlier or stay).
-            while !s.is_idle() {
-                let (&job, &at) = projections.iter().min_by_key(|(_, &at)| at).unwrap();
-                let (done, rest) = s.finish(at, job).unwrap();
-                let held = at - admitted_at[&job];
+            // Drain by always finishing the earliest projection — the
+            // one event the engine keeps live per slice.
+            while let Some(c) = s.next_completion(clock) {
+                let (done, rearmed) = s.finish(c.at, c.job).unwrap();
+                let held = c.at - admitted_at[&c.job];
                 // Processor sharing can only stretch a job.
                 prop_assert!(held.as_micros() + 1 >= done.spec.solo.as_micros(),
                     "job finished faster than solo: {held:?} < {:?}", done.spec.solo);
-                projections.clear();
-                for c in rest {
-                    projections.insert(c.job, c.at);
-                }
+                clock = c.at;
+                prop_assert_eq!(rearmed, s.next_completion(clock));
+                assert_next_completion_invariant(&s, clock);
             }
+            prop_assert!(s.is_idle());
             prop_assert_eq!(s.completed_jobs(), solos.len() as u64);
         }
     }

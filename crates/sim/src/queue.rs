@@ -27,6 +27,8 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    popped: u64,
+    peak_len: usize,
 }
 
 #[derive(Debug)]
@@ -67,6 +69,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            popped: 0,
+            peak_len: 0,
         }
     }
 
@@ -75,16 +79,42 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Removes and returns the chronologically next event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let e = self.heap.pop().map(|e| (e.time, e.event));
+        if e.is_some() {
+            self.popped += 1;
+        }
+        e
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// The next event (time and payload) without removing it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
+    /// Events pushed over the queue's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events popped over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// The largest heap size ever reached — how much event traffic the
+    /// producer forced the queue to buffer.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Number of pending events.

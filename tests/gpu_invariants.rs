@@ -136,10 +136,64 @@ proptest! {
         fbr in 0.0f64..2.0,
     ) {
         let mut s = protean_gpu::Slice::new(SliceProfile::G3, SharingMode::TimeShared, SimTime::ZERO);
-        let completions = s.admit(SimTime::ZERO, spec(1, solo, fbr, 2.0)).expect("fits");
-        prop_assert_eq!(completions.len(), 1);
-        prop_assert_eq!(completions[0].at, SimTime::ZERO + SimDuration::from_millis(solo));
+        let next = s.admit(SimTime::ZERO, spec(1, solo, fbr, 2.0)).expect("fits");
+        prop_assert_eq!(next.job, JobId(1));
+        prop_assert_eq!(next.at, SimTime::ZERO + SimDuration::from_millis(solo));
         prop_assert_eq!(s.current_slowdown(), 1.0);
+    }
+
+    /// The earliest-completion invariant the single-event engine relies
+    /// on: under any admit/finish interleaving, `next_completion` equals
+    /// the minimum of `project_completions` with ties resolved to the
+    /// earliest-admitted resident, and it tracks membership changes.
+    #[test]
+    fn prop_next_completion_is_earliest_projection(
+        geometry in arb_geometry(),
+        jobs in proptest::collection::vec((1.0f64..200.0, 0.05f64..0.9, 0.1f64..2.0), 1..24),
+        finish_every in 2usize..5,
+    ) {
+        let mut gpu = Gpu::new(GpuId(0), geometry, SharingMode::Mps, SimTime::ZERO);
+        let mut clock = SimTime::ZERO;
+        let check = |gpu: &Gpu, clock: SimTime| {
+            for idx in 0..gpu.slices().len() {
+                let sl = gpu.slice(idx);
+                let full = sl.project_completions(clock);
+                let mut expected: Option<protean_gpu::Completion> = None;
+                for c in &full {
+                    if expected.is_none_or(|b| c.at < b.at) {
+                        expected = Some(*c);
+                    }
+                }
+                assert_eq!(sl.next_completion(clock), expected);
+            }
+        };
+        for (i, (solo, fbr, mem)) in jobs.into_iter().enumerate() {
+            clock += SimDuration::from_millis(1.0);
+            let slice_idx = i % gpu.slices().len();
+            let s = spec(i as u64, solo, fbr, mem);
+            let _ = gpu.slice_mut(slice_idx).admit(clock, s);
+            check(&gpu, clock);
+            // Periodically retire a slice's earliest projection, the way
+            // the engine's single live event would.
+            if i % finish_every == 0 {
+                if let Some(c) = gpu.slice(slice_idx).next_completion(clock) {
+                    clock = c.at;
+                    gpu.slice_mut(slice_idx).finish(c.at, c.job).expect("live projection");
+                    check(&gpu, clock);
+                }
+            }
+        }
+        // Drain: the earliest projection is always finishable.
+        for idx in 0..gpu.slices().len() {
+            while let Some(c) = gpu.slice(idx).next_completion(clock) {
+                clock = clock.max(c.at);
+                let c = gpu.slice(idx).next_completion(clock).expect("still resident");
+                gpu.slice_mut(idx).finish(c.at.max(clock), c.job).expect("drain");
+                clock = c.at.max(clock);
+                check(&gpu, clock);
+            }
+        }
+        prop_assert!(gpu.is_idle());
     }
 }
 
