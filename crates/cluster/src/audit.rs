@@ -1,0 +1,364 @@
+//! Opt-in cluster-state invariant auditor.
+//!
+//! The engine's correctness story rests on conservation laws that no
+//! single unit test can see end to end: containers must not be minted
+//! or leaked across cold starts, evictions and VM replacements;
+//! `Worker::outstanding` must equal the requests physically held in the
+//! worker's pipeline; the VM ledger must bill exactly the VMs bound (or
+//! pending) on workers; batches must walk the
+//! `Sealed → Dispatched → Placed → Finished` lifecycle in order, with
+//! the only allowed regression being an eviction re-dispatch.
+//!
+//! When [`crate::ClusterConfig`]'s `audit` flag is set, the engine
+//! sweeps these invariants after **every** handled event and arrival,
+//! and records each violation into [`AuditReport`]. With the flag off
+//! (the default) every hook returns immediately — the auditor holds no
+//! state and the run's results are bit-identical to an unaudited run.
+//! With the flag *on* results are also bit-identical: the auditor only
+//! reads engine state, so it can ride along in any test or experiment.
+//!
+//! The auditor is the complement of the deterministic fault-injection
+//! harness ([`crate::fault`]): scripted adversarial schedules drive the
+//! engine through the eviction × cold-start × reconfiguration corner
+//! cases, and the auditor proves the lifecycle machinery conserved
+//! every resource along the way.
+
+use std::collections::HashMap;
+
+use protean_sim::SimTime;
+use protean_spot::VmLedger;
+
+use crate::batch::BatchId;
+use crate::worker::{Worker, WorkerStatus};
+
+/// Cap on recorded violation messages; beyond it only the count grows.
+const MAX_RECORDED: usize = 64;
+
+/// Outcome of an audited run, surfaced in
+/// [`crate::SimulationResult::audit`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Whether the auditor was enabled for the run.
+    pub enabled: bool,
+    /// Full-state invariant sweeps performed (one per handled event or
+    /// dispatched arrival).
+    pub checks: u64,
+    /// Total invariant violations detected.
+    pub violation_count: u64,
+    /// The first [`MAX_RECORDED`] violation messages, in detection
+    /// order.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// `true` if the audited run violated no invariant. A disabled
+    /// auditor reports clean (it saw nothing).
+    pub fn is_clean(&self) -> bool {
+        self.violation_count == 0
+    }
+}
+
+/// Batch lifecycle stage tracked for the causality invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Sealed,
+    Dispatched,
+    Placed,
+}
+
+/// The live auditor owned by the engine. Every hook is a no-op unless
+/// constructed enabled.
+#[derive(Debug, Default)]
+pub(crate) struct Auditor {
+    enabled: bool,
+    checks: u64,
+    violation_count: u64,
+    violations: Vec<String>,
+    /// Lifecycle stage per in-flight batch (finished batches are
+    /// dropped to bound memory).
+    stages: HashMap<BatchId, Stage>,
+}
+
+impl Auditor {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Auditor {
+            enabled,
+            ..Auditor::default()
+        }
+    }
+
+    fn violation(&mut self, now: SimTime, msg: String) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations
+                .push(format!("t={:.6}s {msg}", now.as_secs_f64()));
+        }
+    }
+
+    /// A batch was sealed at the gateway.
+    pub(crate) fn batch_sealed(&mut self, now: SimTime, id: BatchId) {
+        if !self.enabled {
+            return;
+        }
+        if self.stages.insert(id, Stage::Sealed).is_some() {
+            self.violation(now, format!("batch {id:?} sealed twice"));
+        }
+    }
+
+    /// A batch was dispatched to `worker`. `routable` is the target's
+    /// routability at dispatch time; `redispatch` marks an eviction
+    /// orphan re-entering the dispatcher.
+    pub(crate) fn batch_dispatched(
+        &mut self,
+        now: SimTime,
+        id: BatchId,
+        worker: usize,
+        routable: bool,
+        redispatch: bool,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if !routable {
+            self.violation(
+                now,
+                format!("batch {id:?} dispatched to non-routable worker {worker}"),
+            );
+        }
+        let ok = match self.stages.get(&id) {
+            Some(Stage::Sealed) => true,
+            // Eviction orphans legitimately regress from Dispatched
+            // (waiting for container/slice) or Placed (running when the
+            // VM died) back to Dispatched.
+            Some(Stage::Dispatched) | Some(Stage::Placed) => redispatch,
+            None => false,
+        };
+        if !ok {
+            self.violation(
+                now,
+                format!(
+                    "batch {id:?} dispatched out of order (stage {:?}, redispatch {redispatch})",
+                    self.stages.get(&id)
+                ),
+            );
+        }
+        self.stages.insert(id, Stage::Dispatched);
+    }
+
+    /// A batch began executing on a slice.
+    pub(crate) fn batch_placed(&mut self, now: SimTime, id: BatchId, worker: usize) {
+        if !self.enabled {
+            return;
+        }
+        if self.stages.get(&id) != Some(&Stage::Dispatched) {
+            self.violation(
+                now,
+                format!(
+                    "batch {id:?} placed on worker {worker} out of order (stage {:?})",
+                    self.stages.get(&id)
+                ),
+            );
+        }
+        self.stages.insert(id, Stage::Placed);
+    }
+
+    /// A batch finished executing.
+    pub(crate) fn batch_finished(&mut self, now: SimTime, id: BatchId, worker: usize) {
+        if !self.enabled {
+            return;
+        }
+        if self.stages.remove(&id) != Some(Stage::Placed) {
+            self.violation(
+                now,
+                format!("batch {id:?} finished on worker {worker} without being placed"),
+            );
+        }
+    }
+
+    /// Sweeps the cluster-wide conservation invariants. Called after
+    /// every handled event and every dispatched arrival.
+    pub(crate) fn check_cluster(&mut self, now: SimTime, workers: &[Worker], ledger: &VmLedger) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        let mut bound_vms = 0usize;
+        for w in workers {
+            // Container conservation per (worker, model): the pool's
+            // live population must equal its birth events minus its
+            // reclaims — a saturating underflow or phantom container
+            // breaks the equality.
+            for (model, pool) in &w.pools {
+                let live = u64::from(pool.busy_count())
+                    + u64::from(pool.booting_count())
+                    + pool.warm_count() as u64;
+                let born = pool.prewarmed() + pool.cold_starts() + pool.proactive_boots();
+                if live + pool.reclaimed() != born {
+                    self.violation(
+                        now,
+                        format!(
+                            "worker {} model {model:?} container conservation broken: \
+                             warm {} + busy {} + booting {} + reclaimed {} != \
+                             prewarmed {} + cold {} + proactive {}",
+                            w.idx,
+                            pool.warm_count(),
+                            pool.busy_count(),
+                            pool.booting_count(),
+                            pool.reclaimed(),
+                            pool.prewarmed(),
+                            pool.cold_starts(),
+                            pool.proactive_boots(),
+                        ),
+                    );
+                }
+            }
+            // Request accounting: `outstanding` is the dispatcher's load
+            // signal and must equal the requests physically held in the
+            // worker's pipeline.
+            let held: u64 = w
+                .wait_container
+                .values()
+                .flat_map(|q| q.iter())
+                .map(|b| b.requests.len() as u64)
+                .sum::<u64>()
+                + w.sched_queue
+                    .iter_batches()
+                    .map(|b| b.requests.len() as u64)
+                    .sum::<u64>()
+                + w.running
+                    .values()
+                    .map(|rb| rb.batch.requests.len() as u64)
+                    .sum::<u64>();
+            if held != w.outstanding {
+                self.violation(
+                    now,
+                    format!(
+                        "worker {} outstanding {} != held requests {held}",
+                        w.idx, w.outstanding
+                    ),
+                );
+            }
+            // VM binding coherence with the lifecycle status.
+            let vm_ok = match w.status {
+                WorkerStatus::Up | WorkerStatus::Evicting { .. } => w.vm.is_some(),
+                WorkerStatus::Down => w.vm.is_none(),
+            };
+            if !vm_ok {
+                self.violation(
+                    now,
+                    format!(
+                        "worker {} status {:?} inconsistent with VM binding {:?}",
+                        w.idx, w.status, w.vm
+                    ),
+                );
+            }
+            if w.pending_vm.is_some() && !matches!(w.status, WorkerStatus::Evicting { .. }) {
+                self.violation(
+                    now,
+                    format!(
+                        "worker {} holds a pending VM while {:?} (double procurement)",
+                        w.idx, w.status
+                    ),
+                );
+            }
+            bound_vms += usize::from(w.vm.is_some()) + usize::from(w.pending_vm.is_some());
+        }
+        // Ledger coherence: every open ledger entry is bound to (or
+        // pending on) exactly one worker slot.
+        if ledger.open_count() != bound_vms {
+            self.violation(
+                now,
+                format!(
+                    "ledger has {} open VMs but workers bind {bound_vms}",
+                    ledger.open_count()
+                ),
+            );
+        }
+    }
+
+    pub(crate) fn into_report(self) -> AuditReport {
+        AuditReport {
+            enabled: self.enabled,
+            checks: self.checks,
+            violation_count: self.violation_count,
+            violations: self.violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_auditor_is_inert_and_clean() {
+        let mut a = Auditor::new(false);
+        a.batch_sealed(SimTime::ZERO, BatchId(0));
+        a.batch_finished(SimTime::ZERO, BatchId(0), 0); // would violate if on
+        a.check_cluster(SimTime::ZERO, &[], &dummy_ledger());
+        let r = a.into_report();
+        assert!(!r.enabled);
+        assert!(r.is_clean());
+        assert_eq!(r.checks, 0);
+    }
+
+    #[test]
+    fn lifecycle_ordering_is_enforced() {
+        let mut a = Auditor::new(true);
+        let id = BatchId(7);
+        a.batch_sealed(SimTime::ZERO, id);
+        a.batch_dispatched(SimTime::ZERO, id, 0, true, false);
+        a.batch_placed(SimTime::ZERO, id, 0);
+        a.batch_finished(SimTime::ZERO, id, 0);
+        assert_eq!(a.violation_count, 0);
+        // Finishing again (never re-sealed) violates.
+        a.batch_finished(SimTime::ZERO, id, 0);
+        assert_eq!(a.violation_count, 1);
+    }
+
+    #[test]
+    fn redispatch_regression_is_allowed_only_when_flagged() {
+        let mut a = Auditor::new(true);
+        let id = BatchId(3);
+        a.batch_sealed(SimTime::ZERO, id);
+        a.batch_dispatched(SimTime::ZERO, id, 0, true, false);
+        a.batch_placed(SimTime::ZERO, id, 0);
+        // Eviction orphan: allowed with the flag...
+        a.batch_dispatched(SimTime::ZERO, id, 1, true, true);
+        assert_eq!(a.violation_count, 0);
+        a.batch_placed(SimTime::ZERO, id, 1);
+        // ...but a plain double dispatch is a violation.
+        a.batch_dispatched(SimTime::ZERO, id, 1, true, false);
+        assert_eq!(a.violation_count, 1);
+    }
+
+    #[test]
+    fn non_routable_dispatch_is_a_violation() {
+        let mut a = Auditor::new(true);
+        let id = BatchId(1);
+        a.batch_sealed(SimTime::ZERO, id);
+        a.batch_dispatched(SimTime::ZERO, id, 2, false, false);
+        assert_eq!(a.violation_count, 1);
+        assert!(a.violations[0].contains("non-routable"));
+    }
+
+    #[test]
+    fn violation_messages_are_capped_but_counted() {
+        let mut a = Auditor::new(true);
+        for i in 0..(MAX_RECORDED as u64 + 40) {
+            // Finished without ever being sealed: one violation each.
+            a.batch_finished(SimTime::ZERO, BatchId(i), 0);
+        }
+        let r = a.into_report();
+        assert_eq!(r.violation_count, MAX_RECORDED as u64 + 40);
+        assert_eq!(r.violations.len(), MAX_RECORDED);
+        assert!(!r.is_clean());
+    }
+
+    fn dummy_ledger() -> VmLedger {
+        VmLedger::new(
+            protean_spot::PricingTable::paper_table3(),
+            protean_spot::Provider::Aws,
+        )
+    }
+}

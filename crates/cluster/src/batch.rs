@@ -26,6 +26,10 @@ pub struct Batch {
     /// Cold-start wait on this batch's critical path, ms (set when the
     /// batch had to wait for a container boot).
     pub cold_wait_ms: f64,
+    /// `true` once the batch has been orphaned by an eviction and sent
+    /// through the dispatcher again. Re-dispatches must not re-count the
+    /// batch in per-window load statistics.
+    pub redispatched: bool,
 }
 
 impl Batch {
@@ -129,6 +133,7 @@ mod tests {
             requests: vec![req(0), req(1), req(2)],
             sealed_at: SimTime::ZERO,
             cold_wait_ms: 0.0,
+            redispatched: false,
         };
         assert_eq!(b.size(), 3);
     }

@@ -23,6 +23,9 @@ pub struct Pool {
     /// Proactive boots triggered by predictive pre-provisioning
     /// (off the critical path; not counted in `cold_starts`).
     proactive_boots: u64,
+    /// Containers provisioned warm via [`Pool::prewarm`] (metric; lets
+    /// the audit layer balance the container-conservation equation).
+    prewarmed: u64,
     /// Containers reclaimed by delayed termination (metric).
     reclaimed: u64,
 }
@@ -51,6 +54,7 @@ impl Pool {
         for _ in 0..count {
             self.warm.push(now);
         }
+        self.prewarmed += count as u64;
     }
 
     /// Requests a container for a sealed batch at `now` (reactive
@@ -139,6 +143,11 @@ impl Pool {
     /// Cold starts triggered so far.
     pub fn cold_starts(&self) -> u64 {
         self.cold_starts
+    }
+
+    /// Containers provisioned warm via [`Pool::prewarm`] so far.
+    pub fn prewarmed(&self) -> u64 {
+        self.prewarmed
     }
 
     /// Warm containers reclaimed by delayed termination so far.

@@ -33,6 +33,9 @@ pub enum JournalEvent {
         batch: BatchId,
         /// Destination worker.
         worker: usize,
+        /// `true` when this is an eviction orphan re-entering the
+        /// dispatcher rather than a freshly sealed batch.
+        redispatch: bool,
     },
     /// A batch began executing on a slice.
     BatchPlaced {

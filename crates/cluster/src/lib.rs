@@ -27,6 +27,12 @@
 //!    revocation checks, eviction notices, drain, replacement VMs, and
 //!    the dollar ledger (§4.5).
 //!
+//! Two correctness tools ride on top of the engine: the opt-in
+//! invariant [`audit`] layer sweeps cluster-wide conservation laws
+//! after every event, and the [`fault`] module's scripted spot oracle
+//! drives the eviction machinery through exact adversarial
+//! interleavings (see [`engine::run_simulation_with_oracle`]).
+//!
 //! # Example
 //!
 //! ```
@@ -50,15 +56,22 @@
 //! assert!(result.metrics.count(protean_metrics::record::Class::All) > 0);
 //! ```
 
+pub mod audit;
 pub mod batch;
 pub mod container;
 pub mod engine;
+pub mod fault;
 pub mod journal;
 pub mod scheme;
 pub mod worker;
 
+pub use audit::AuditReport;
 pub use batch::{Batch, BatchId};
-pub use engine::{run_simulation, run_simulation_on, ClusterConfig, CostReport, SimulationResult};
+pub use engine::{
+    run_simulation, run_simulation_on, run_simulation_with_oracle, run_trace_with_oracle,
+    ClusterConfig, CostReport, SimulationResult,
+};
+pub use fault::{ScriptedMarket, SpotOracle};
 pub use journal::{Journal, JournalEvent};
 pub use scheme::{
     BatchView, DispatchPolicy, Placement, PlacementCtx, ReconfigCtx, Scheme, SchemeBuilder,

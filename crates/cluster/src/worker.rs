@@ -1,7 +1,7 @@
 //! Per-worker-node state: VM binding, GPU, batch accumulators,
 //! container pools and the (optionally strict-priority) scheduler queue.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use protean_gpu::Gpu;
 use protean_models::{Catalog, ModelId};
@@ -172,6 +172,15 @@ impl SchedQueue {
             .map(|(_, b)| b)
             .collect()
     }
+
+    /// Iterates every queued batch (both classes, no particular order);
+    /// used by the audit layer's request-conservation sweep.
+    pub fn iter_batches(&self) -> impl Iterator<Item = &Batch> {
+        self.strict
+            .iter()
+            .chain(self.best_effort.iter())
+            .map(|(_, b)| b)
+    }
 }
 
 /// One worker node: a VM slot with one GPU and the serving pipeline.
@@ -191,6 +200,11 @@ pub struct Worker {
     /// Bumped on every GPU rebuild (reconfiguration or VM replacement);
     /// stale completion events carry an older epoch.
     pub epoch: u64,
+    /// Bumped only on VM replacement, never on reconfiguration.
+    /// Container boots survive a MIG reconfig (containers live in host
+    /// memory) but not a VM replacement, so `BootDone` events validate
+    /// against this counter rather than `epoch`.
+    pub vm_epoch: u64,
     /// Sealed batches waiting for a container, per model.
     pub wait_container: HashMap<ModelId, VecDeque<Batch>>,
     /// Container pools per model.
@@ -203,10 +217,11 @@ pub struct Worker {
     /// metric for the dispatcher).
     pub outstanding: u64,
     /// Batches dispatched here per model in the current monitor window
-    /// (drives predictive container pre-provisioning).
-    pub window_batches: HashMap<ModelId, u64>,
+    /// (drives predictive container pre-provisioning). `BTreeMap` so the
+    /// prewarm tick visits models in a deterministic order.
+    pub window_batches: BTreeMap<ModelId, u64>,
     /// EWMA of per-window batch arrivals per model.
-    pub predicted_batches: HashMap<ModelId, f64>,
+    pub predicted_batches: BTreeMap<ModelId, protean_sim::Ewma>,
     /// Best-effort requests seen in the current monitor window.
     pub window_be: u64,
     /// Strict requests seen in the current monitor window.
@@ -246,13 +261,14 @@ impl Worker {
             pending_vm: None,
             gpu,
             epoch: 0,
+            vm_epoch: 0,
             wait_container: HashMap::new(),
             pools: HashMap::new(),
             sched_queue: SchedQueue::new(reorders),
             running: HashMap::new(),
             outstanding: 0,
-            window_batches: HashMap::new(),
-            predicted_batches: HashMap::new(),
+            window_batches: BTreeMap::new(),
+            predicted_batches: BTreeMap::new(),
             window_be: 0,
             window_strict: 0,
             last_be_model: None,
@@ -276,6 +292,8 @@ impl Worker {
     }
 
     /// Rebuilds the GPU (VM replacement): fresh geometry, empty pools.
+    /// Bumps both epochs — in-flight `JobFinish` *and* `BootDone` events
+    /// from the old VM are stale after this.
     pub fn reset_runtime(&mut self, now: SimTime) {
         self.gpu = Gpu::new(
             protean_gpu::GpuId(self.idx as u32),
@@ -284,6 +302,7 @@ impl Worker {
             now,
         );
         self.epoch += 1;
+        self.vm_epoch += 1;
         self.pools.clear();
         self.wait_container.clear();
         debug_assert!(self.running.is_empty(), "reset with running batches");
@@ -306,6 +325,11 @@ impl Worker {
     /// Total cold starts across this worker's pools.
     pub fn cold_starts(&self) -> u64 {
         self.pools.values().map(Pool::cold_starts).sum()
+    }
+
+    /// Total proactive (predictive) boots across this worker's pools.
+    pub fn proactive_boots(&self) -> u64 {
+        self.pools.values().map(Pool::proactive_boots).sum()
     }
 
     /// Sum of best-effort memory waiting in the scheduler queue, for
@@ -335,6 +359,7 @@ mod tests {
             }],
             sealed_at: SimTime::ZERO,
             cold_wait_ms: 0.0,
+            redispatched: false,
         }
     }
 

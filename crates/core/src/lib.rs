@@ -54,13 +54,12 @@
 //! ```
 
 pub mod distribution;
-pub mod ewma;
 pub mod reconfigurator;
 pub mod scheme;
 pub mod slowdown;
 
 pub use distribution::{choose_best_effort_slice, choose_strict_slice, tag_slices};
-pub use ewma::Ewma;
+pub use protean_sim::Ewma;
 pub use reconfigurator::{Reconfigurator, ReconfiguratorConfig};
 pub use scheme::{Protean, ProteanBuilder, ProteanConfig};
 pub use slowdown::eta;

@@ -13,7 +13,7 @@
 use protean_gpu::{Geometry, SliceProfile};
 use protean_models::ModelProfile;
 
-use crate::ewma::Ewma;
+use protean_sim::Ewma;
 
 /// Tunables of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq)]

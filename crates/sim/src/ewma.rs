@@ -1,12 +1,15 @@
-//! The lightweight EWMA predictor used by the GPU Reconfigurator
-//! (§4.4, borrowed from Atoll).
+//! The lightweight EWMA predictor shared by the GPU Reconfigurator
+//! (§4.4, borrowed from Atoll) and the cluster engine's predictive
+//! container pre-provisioning. It lives in `protean-sim` so both the
+//! policy crate (`protean`) and the substrate (`protean-cluster`) use
+//! the same smoothing semantics; `protean` re-exports it.
 
 /// Exponentially weighted moving average: `v ← α·x + (1−α)·v`.
 ///
 /// # Example
 ///
 /// ```
-/// use protean::Ewma;
+/// use protean_sim::Ewma;
 /// let mut e = Ewma::new(0.5);
 /// e.observe(10.0);
 /// e.observe(20.0);

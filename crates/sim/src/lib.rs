@@ -11,6 +11,9 @@
 //! * [`rng`] — seeded, labelled random-number streams so that independent
 //!   stochastic processes (arrivals, evictions, model rotation, …) can be
 //!   re-run bit-for-bit identically and varied independently.
+//! * [`Ewma`] — the exponentially weighted moving average used wherever
+//!   a forecast is smoothed (GPU reconfiguration, predictive container
+//!   pre-provisioning).
 //! * [`TimeSeries`] / [`Accumulator`] — small utilities for integrating
 //!   quantities over simulated time (GPU busy time, memory occupancy,
 //!   dollar cost).
@@ -31,11 +34,13 @@
 //! assert_eq!(ev, Ev::Tick);
 //! ```
 
+pub mod ewma;
 pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod time;
 
+pub use ewma::Ewma;
 pub use queue::EventQueue;
 pub use rng::{RngFactory, SimRng};
 pub use series::{Accumulator, TimeSeries};

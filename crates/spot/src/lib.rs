@@ -17,7 +17,11 @@
 //! This crate reproduces that emulation: [`PricingTable`] carries the
 //! paper's Table 3 prices, [`SpotMarket`] drives revocations and spot
 //! acquisition, [`ProcurementPolicy`] captures the three strategies
-//! compared in Fig. 9, and [`VmLedger`] integrates dollar cost.
+//! compared in Fig. 9, and [`VmLedger`] integrates dollar cost. The
+//! cluster engine consumes the market through the [`SpotOracle`] trait,
+//! which fault-injection harnesses implement with scripted schedules to
+//! drive adversarial eviction/procurement interleavings
+//! deterministically.
 //!
 //! # Example
 //!
@@ -266,6 +270,40 @@ impl SpotMarket {
     }
 }
 
+/// The engine-facing abstraction over the spot market's two stochastic
+/// decisions: revocation rolls and spot-acquisition grants.
+///
+/// The production implementation is [`SpotMarket`], which draws both
+/// from a seeded RNG stream. Deterministic fault-injection harnesses
+/// substitute scripted implementations so a test can drive a *specific*
+/// eviction × cold-start × reconfiguration interleaving (eviction
+/// notice while a boot is in flight, replacement VM ready before the
+/// old one drains, procurement denial bursts) instead of scanning
+/// seeds hoping the RNG produces one.
+///
+/// `now` and `worker` identify the roll site; [`SpotMarket`] ignores
+/// them (every roll is i.i.d.), scripted markets key on them.
+pub trait SpotOracle {
+    /// Rolls one revocation check for the spot VM backing `worker` at
+    /// `now`. `Some(lead)` means an eviction notice fires now and the
+    /// VM is reclaimed after `lead`.
+    fn roll_revocation(&mut self, now: SimTime, worker: usize) -> Option<SimDuration>;
+
+    /// Rolls one spot-acquisition request on behalf of `worker` at
+    /// `now`. `true` means the provider grants a spot VM.
+    fn try_acquire_spot(&mut self, now: SimTime, worker: usize) -> bool;
+}
+
+impl SpotOracle for SpotMarket {
+    fn roll_revocation(&mut self, _now: SimTime, _worker: usize) -> Option<SimDuration> {
+        SpotMarket::roll_revocation(self)
+    }
+
+    fn try_acquire_spot(&mut self, _now: SimTime, _worker: usize) -> bool {
+        SpotMarket::try_acquire_spot(self)
+    }
+}
+
 /// Identifier of a VM in the ledger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub u64);
@@ -433,6 +471,25 @@ mod tests {
         let grant_rate = grants as f64 / n as f64;
         assert!((rev_rate - 0.708).abs() < 0.02, "rev {rev_rate}");
         assert!((grant_rate - 0.292).abs() < 0.02, "grant {grant_rate}");
+    }
+
+    #[test]
+    fn spot_market_oracle_impl_matches_direct_calls() {
+        // The blanket SpotOracle impl must consume the RNG exactly like
+        // the inherent methods, or swapping the engine to the trait
+        // would shift every digest.
+        let factory = RngFactory::new(9);
+        let mut direct = SpotMarket::new(SpotAvailability::Moderate, factory.stream("m"));
+        let mut via_trait = SpotMarket::new(SpotAvailability::Moderate, factory.stream("m"));
+        let oracle: &mut dyn SpotOracle = &mut via_trait;
+        for i in 0..500 {
+            let now = SimTime::from_secs(i as f64);
+            assert_eq!(direct.roll_revocation(), oracle.roll_revocation(now, i % 3));
+            assert_eq!(
+                direct.try_acquire_spot(),
+                oracle.try_acquire_spot(now, i % 3)
+            );
+        }
     }
 
     #[test]
