@@ -10,12 +10,17 @@
 //! the only allowed regression being an eviction re-dispatch.
 //!
 //! When [`crate::ClusterConfig`]'s `audit` flag is set, the engine
-//! sweeps these invariants after **every** handled event and arrival,
-//! and records each violation into [`AuditReport`]. With the flag off
-//! (the default) every hook returns immediately — the auditor holds no
-//! state and the run's results are bit-identical to an unaudited run.
-//! With the flag *on* results are also bit-identical: the auditor only
-//! reads engine state, so it can ride along in any test or experiment.
+//! sweeps these invariants after **every** handled event and arrival
+//! (or every `audit_every_n`-th one, for fleet-scale runs where a full
+//! sweep per event is unaffordable), and records each violation into
+//! [`AuditReport`]. The sweep also cross-checks the incremental
+//! [`crate::dispatch::DispatchIndex`] against the workers' live state —
+//! the index-coherence invariant backing the O(log W) dispatcher. With
+//! the flag off (the default) every hook returns immediately — the
+//! auditor holds no state and the run's results are bit-identical to an
+//! unaudited run. With the flag *on* results are also bit-identical:
+//! the auditor only reads engine state, so it can ride along in any
+//! test or experiment.
 //!
 //! The auditor is the complement of the deterministic fault-injection
 //! harness ([`crate::fault`]): scripted adversarial schedules drive the
@@ -29,6 +34,7 @@ use protean_sim::SimTime;
 use protean_spot::VmLedger;
 
 use crate::batch::BatchId;
+use crate::dispatch::DispatchIndex;
 use crate::worker::{Worker, WorkerStatus};
 
 /// Cap on recorded violation messages; beyond it only the count grows.
@@ -41,7 +47,8 @@ pub struct AuditReport {
     /// Whether the auditor was enabled for the run.
     pub enabled: bool,
     /// Full-state invariant sweeps performed (one per handled event or
-    /// dispatched arrival).
+    /// dispatched arrival, thinned by
+    /// [`crate::ClusterConfig::audit_every_n`] sampling).
     pub checks: u64,
     /// Total invariant violations detected.
     pub violation_count: u64,
@@ -71,6 +78,11 @@ enum Stage {
 #[derive(Debug, Default)]
 pub(crate) struct Auditor {
     enabled: bool,
+    /// Run the full sweep on every `every_n`-th opportunity (≥ 1). The
+    /// O(1) batch-lifecycle hooks are never sampled.
+    every_n: u64,
+    /// Sweep opportunities seen (sampled or not).
+    opportunities: u64,
     checks: u64,
     violation_count: u64,
     violations: Vec<String>,
@@ -80,9 +92,10 @@ pub(crate) struct Auditor {
 }
 
 impl Auditor {
-    pub(crate) fn new(enabled: bool) -> Self {
+    pub(crate) fn new(enabled: bool, every_n: u64) -> Self {
         Auditor {
             enabled,
+            every_n: every_n.max(1),
             ..Auditor::default()
         }
     }
@@ -175,13 +188,32 @@ impl Auditor {
         }
     }
 
-    /// Sweeps the cluster-wide conservation invariants. Called after
-    /// every handled event and every dispatched arrival.
-    pub(crate) fn check_cluster(&mut self, now: SimTime, workers: &[Worker], ledger: &VmLedger) {
+    /// Sweeps the cluster-wide conservation invariants plus
+    /// dispatch-index coherence. Called after every handled event and
+    /// every dispatched arrival; performs the sweep on every
+    /// `every_n`-th call.
+    pub(crate) fn check_cluster(
+        &mut self,
+        now: SimTime,
+        workers: &[Worker],
+        ledger: &VmLedger,
+        index: &DispatchIndex,
+    ) {
         if !self.enabled {
             return;
         }
+        self.opportunities += 1;
+        if !(self.opportunities - 1).is_multiple_of(self.every_n) {
+            return;
+        }
         self.checks += 1;
+        // Index coherence: the incrementally-maintained dispatch index
+        // must agree with the workers' live state at every quiescent
+        // point, or the O(log W) dispatcher could diverge from the
+        // linear-scan reference.
+        for msg in index.verify(workers) {
+            self.violation(now, msg);
+        }
         let mut bound_vms = 0usize;
         for w in workers {
             // Container conservation per (worker, model): the pool's
@@ -292,10 +324,10 @@ mod tests {
 
     #[test]
     fn disabled_auditor_is_inert_and_clean() {
-        let mut a = Auditor::new(false);
+        let mut a = Auditor::new(false, 1);
         a.batch_sealed(SimTime::ZERO, BatchId(0));
         a.batch_finished(SimTime::ZERO, BatchId(0), 0); // would violate if on
-        a.check_cluster(SimTime::ZERO, &[], &dummy_ledger());
+        a.check_cluster(SimTime::ZERO, &[], &dummy_ledger(), &DispatchIndex::new(0));
         let r = a.into_report();
         assert!(!r.enabled);
         assert!(r.is_clean());
@@ -303,8 +335,42 @@ mod tests {
     }
 
     #[test]
+    fn sampling_thins_sweeps_but_first_opportunity_is_checked() {
+        let mut a = Auditor::new(true, 3);
+        let index = DispatchIndex::new(0);
+        for _ in 0..7 {
+            a.check_cluster(SimTime::ZERO, &[], &dummy_ledger(), &index);
+        }
+        // Opportunities 1, 4 and 7 are swept.
+        let r = a.into_report();
+        assert_eq!(r.checks, 3);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn every_n_zero_is_treated_as_one() {
+        let mut a = Auditor::new(true, 0);
+        let index = DispatchIndex::new(0);
+        for _ in 0..5 {
+            a.check_cluster(SimTime::ZERO, &[], &dummy_ledger(), &index);
+        }
+        assert_eq!(a.into_report().checks, 5);
+    }
+
+    #[test]
+    fn incoherent_dispatch_index_is_a_violation() {
+        let mut a = Auditor::new(true, 1);
+        // An index sized for a worker the cluster does not have.
+        let index = DispatchIndex::new(1);
+        a.check_cluster(SimTime::ZERO, &[], &dummy_ledger(), &index);
+        let r = a.into_report();
+        assert_eq!(r.violation_count, 1);
+        assert!(r.violations[0].contains("dispatch index"));
+    }
+
+    #[test]
     fn lifecycle_ordering_is_enforced() {
-        let mut a = Auditor::new(true);
+        let mut a = Auditor::new(true, 1);
         let id = BatchId(7);
         a.batch_sealed(SimTime::ZERO, id);
         a.batch_dispatched(SimTime::ZERO, id, 0, true, false);
@@ -318,7 +384,7 @@ mod tests {
 
     #[test]
     fn redispatch_regression_is_allowed_only_when_flagged() {
-        let mut a = Auditor::new(true);
+        let mut a = Auditor::new(true, 1);
         let id = BatchId(3);
         a.batch_sealed(SimTime::ZERO, id);
         a.batch_dispatched(SimTime::ZERO, id, 0, true, false);
@@ -334,7 +400,7 @@ mod tests {
 
     #[test]
     fn non_routable_dispatch_is_a_violation() {
-        let mut a = Auditor::new(true);
+        let mut a = Auditor::new(true, 1);
         let id = BatchId(1);
         a.batch_sealed(SimTime::ZERO, id);
         a.batch_dispatched(SimTime::ZERO, id, 2, false, false);
@@ -344,7 +410,7 @@ mod tests {
 
     #[test]
     fn violation_messages_are_capped_but_counted() {
-        let mut a = Auditor::new(true);
+        let mut a = Auditor::new(true, 1);
         for i in 0..(MAX_RECORDED as u64 + 40) {
             // Finished without ever being sealed: one violation each.
             a.batch_finished(SimTime::ZERO, BatchId(i), 0);

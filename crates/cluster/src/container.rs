@@ -51,6 +51,7 @@ impl Pool {
     /// whose keep-alive (§4.2) retains containers across the
     /// best-effort model rotation.
     pub fn prewarm(&mut self, now: SimTime, count: usize) {
+        debug_assert!(self.warm.last().is_none_or(|&t| t <= now));
         for _ in 0..count {
             self.warm.push(now);
         }
@@ -98,6 +99,7 @@ impl Pool {
         if batch_waiting {
             self.busy += 1;
         } else {
+            debug_assert!(self.warm.last().is_none_or(|&t| t <= now));
             self.warm.push(now);
         }
     }
@@ -110,19 +112,30 @@ impl Pool {
         if reuse {
             self.busy += 1;
         } else {
+            debug_assert!(self.warm.last().is_none_or(|&t| t <= now));
             self.warm.push(now);
         }
     }
 
     /// Delayed termination: reclaims warm containers idle longer than
     /// `keep_alive`. Returns how many were reclaimed.
+    ///
+    /// `warm` is pushed at nondecreasing sim times (the engine's clock
+    /// only moves forward) and popped from the back, so it stays sorted
+    /// by idle-since: expired entries form a prefix, and a fresh front
+    /// entry means nothing can expire — the monitor tick's per-pool
+    /// sweep is O(1) in the common no-op case instead of a full walk.
     pub fn expire_idle(&mut self, now: SimTime, keep_alive: SimDuration) -> usize {
-        let before = self.warm.len();
-        self.warm
-            .retain(|&idle_since| now.saturating_since(idle_since) < keep_alive);
-        let reclaimed = before - self.warm.len();
-        self.reclaimed += reclaimed as u64;
-        reclaimed
+        match self.warm.first() {
+            Some(&oldest) if now.saturating_since(oldest) >= keep_alive => {}
+            _ => return 0,
+        }
+        let expired = self
+            .warm
+            .partition_point(|&idle_since| now.saturating_since(idle_since) >= keep_alive);
+        self.warm.drain(..expired);
+        self.reclaimed += expired as u64;
+        expired
     }
 
     /// Idle warm containers.

@@ -1,0 +1,387 @@
+//! Incrementally-maintained dispatcher index: O(log W) target selection.
+//!
+//! The gateway dispatcher routes every sealed batch to either the
+//! least-loaded worker (`DispatchPolicy::LoadBalance`) or the
+//! lowest-indexed worker with headroom (`DispatchPolicy::Consolidate`).
+//! Scanning all `W` workers per batch is fine at the paper's 8-GPU
+//! testbed but quadratic in fleet size once arrival rate scales with
+//! `W`; at 512 workers the scan dominates the run. [`DispatchIndex`]
+//! replaces the scans with incrementally-maintained structures:
+//!
+//! * two tournament-tree tiers keyed by `(outstanding, idx)` — workers
+//!   that are routable **and** whose GPU is accepting, and all routable
+//!   workers — so least-loaded selection reads the tree root, whose
+//!   `(outstanding, idx)` ordering reproduces the linear scan's
+//!   `min_by_key` tie-break *exactly*, while updates re-fold one
+//!   O(log W) root path in a flat array (no per-node allocations to
+//!   miss cache on at fleet scale);
+//! * a dense per-worker snapshot used by the `Consolidate` first-fit
+//!   cursor: for each distinct headroom cap the index remembers the
+//!   lowest slot that might still be eligible, so repeated first-fit
+//!   queries resume where the last one stopped instead of rescanning
+//!   the saturated prefix.
+//!
+//! The engine refreshes a worker's entry at every point its dispatch
+//! state can change: `outstanding` increments (dispatch) and decrements
+//! (completion), worker status changes (eviction notice, final
+//! eviction, VM install), and GPU accepting/draining flips
+//! (reconfiguration request and completion). Because every query is
+//! answered from the same `(outstanding, idx)` key the scans used, the
+//! index picks the *identical* worker — pinned by the golden-seed
+//! digests and cross-checked against a retained linear reference by
+//! the audit layer ([`DispatchIndex::verify`]) and the property tests
+//! in `tests/dispatch_index.rs`.
+
+use std::collections::HashMap;
+
+use crate::worker::Worker;
+
+/// Cached dispatch-relevant state of one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    outstanding: u64,
+    accepting: bool,
+}
+
+/// Sentinel key for an ineligible slot: compares above every real
+/// `(outstanding, idx)` key, so `min` ignores it.
+const ABSENT: (u64, usize) = (u64::MAX, usize::MAX);
+
+/// A flat tournament (min-segment) tree over per-slot
+/// `(outstanding, idx)` keys. `set` is O(log W) along a contiguous
+/// array — no per-node allocation, so maintenance stays cache-resident
+/// at thousands of workers where pointer-based ordered sets thrash —
+/// and the root holds the exact `min_by_key((outstanding, idx))` the
+/// linear scan computes, ties broken toward the lower index by the
+/// tuple order.
+#[derive(Debug, Clone)]
+struct MinTree {
+    /// Leaf count padded to a power of two; leaves live at
+    /// `cap..cap + n`, internal node `i` covers `2i` and `2i + 1`.
+    cap: usize,
+    tree: Vec<(u64, usize)>,
+}
+
+impl MinTree {
+    fn new(n: usize) -> Self {
+        let cap = n.next_power_of_two().max(1);
+        MinTree {
+            cap,
+            tree: vec![ABSENT; 2 * cap],
+        }
+    }
+
+    /// Sets slot `idx`'s key (`None` = ineligible) and re-folds the
+    /// path to the root.
+    fn set(&mut self, idx: usize, key: Option<(u64, usize)>) {
+        let mut i = self.cap + idx;
+        self.tree[i] = key.unwrap_or(ABSENT);
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
+    }
+
+    /// The slot holding the minimum key, if any slot is eligible.
+    fn min_idx(&self) -> Option<usize> {
+        let root = self.tree[1];
+        (root != ABSENT).then_some(root.1)
+    }
+}
+
+/// Incrementally-maintained index over worker dispatch state. See the
+/// [module docs](self) for the tier structure and maintenance contract.
+#[derive(Debug)]
+pub struct DispatchIndex {
+    /// Routable workers whose GPU is accepting, keyed `(outstanding, idx)`.
+    accepting: MinTree,
+    /// All routable workers, keyed `(outstanding, idx)`.
+    routable: MinTree,
+    /// Tier sizes, maintained alongside the trees.
+    accepting_count: usize,
+    routable_count: usize,
+    /// Dense snapshot per worker slot; `None` = not routable.
+    entries: Vec<Option<Entry>>,
+    /// First-fit resume point per distinct `Consolidate` headroom cap.
+    /// Invariant: every slot below the cursor is ineligible for that cap
+    /// (not routable, not accepting, or `outstanding >= cap`). A refresh
+    /// that makes a slot newly eligible retreats every cursor above it.
+    cursors: HashMap<u64, usize>,
+    /// Maintenance operations applied (surfaced in `EngineStats`).
+    updates: u64,
+}
+
+impl DispatchIndex {
+    /// An index over `n` worker slots, all initially non-routable.
+    pub fn new(n: usize) -> Self {
+        DispatchIndex {
+            accepting: MinTree::new(n),
+            routable: MinTree::new(n),
+            accepting_count: 0,
+            routable_count: 0,
+            entries: vec![None; n],
+            cursors: HashMap::new(),
+            updates: 0,
+        }
+    }
+
+    /// Re-caches one worker's dispatch state. Call after *any* mutation
+    /// of the worker's status, GPU accepting state, or `outstanding`.
+    pub fn refresh(&mut self, idx: usize, routable: bool, accepting: bool, outstanding: u64) {
+        self.updates += 1;
+        let old = self.entries[idx];
+        let new = routable.then_some(Entry {
+            outstanding,
+            accepting,
+        });
+        if old == new {
+            return;
+        }
+        self.routable.set(idx, new.map(|e| (e.outstanding, idx)));
+        self.accepting.set(
+            idx,
+            new.and_then(|e| e.accepting.then_some((e.outstanding, idx))),
+        );
+        self.routable_count =
+            self.routable_count + usize::from(new.is_some()) - usize::from(old.is_some());
+        self.accepting_count = self.accepting_count + usize::from(new.is_some_and(|e| e.accepting))
+            - usize::from(old.is_some_and(|e| e.accepting));
+        self.entries[idx] = new;
+        // A slot that just became accepting, or whose outstanding
+        // dropped while accepting, may now satisfy a first-fit cap it
+        // previously failed — pull every cursor parked past it back.
+        let gained = match (old, new) {
+            (_, None) => false,
+            (None, Some(n)) => n.accepting,
+            (Some(o), Some(n)) => n.accepting && (!o.accepting || n.outstanding < o.outstanding),
+        };
+        if gained {
+            for cursor in self.cursors.values_mut() {
+                if *cursor > idx {
+                    *cursor = idx;
+                }
+            }
+        }
+    }
+
+    /// [`DispatchIndex::refresh`] from the worker's live state.
+    pub fn refresh_worker(&mut self, w: &Worker) {
+        let (routable, accepting, outstanding) = w.dispatch_state();
+        self.refresh(w.idx, routable, accepting, outstanding);
+    }
+
+    /// The least-loaded routable worker with an accepting GPU — the
+    /// same `(outstanding, idx)` minimum the linear scan's `min_by_key`
+    /// returns.
+    pub fn least_loaded_accepting(&self) -> Option<usize> {
+        self.accepting.min_idx()
+    }
+
+    /// The least-loaded routable worker regardless of GPU state.
+    pub fn least_loaded_routable(&self) -> Option<usize> {
+        self.routable.min_idx()
+    }
+
+    /// `true` if any worker is routable.
+    pub fn any_routable(&self) -> bool {
+        self.routable_count > 0
+    }
+
+    /// Routable workers.
+    pub fn routable_len(&self) -> usize {
+        self.routable_count
+    }
+
+    /// Routable workers whose GPU is accepting.
+    pub fn accepting_len(&self) -> usize {
+        self.accepting_count
+    }
+
+    /// Maintenance operations applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// `Consolidate` first-fit: the lowest-indexed routable, accepting
+    /// worker with `outstanding < cap`, resuming from the cap's cursor.
+    /// Each slot examined adds one to `visits` (the linear scan's unit
+    /// of work, surfaced in `EngineStats::dispatch_scan_visits`).
+    pub fn first_fit(&mut self, cap: u64, visits: &mut u64) -> Option<usize> {
+        let n = self.entries.len();
+        let mut i = *self.cursors.get(&cap).unwrap_or(&0);
+        while i < n {
+            *visits += 1;
+            if let Some(e) = self.entries[i] {
+                if e.accepting && e.outstanding < cap {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        self.cursors.insert(cap, i);
+        (i < n).then_some(i)
+    }
+
+    /// Cross-checks the index against the workers' live state: the
+    /// audited index-coherence invariant. Returns one message per
+    /// discrepancy (tier membership, dense snapshot, or a first-fit
+    /// cursor that skipped an eligible slot).
+    pub fn verify(&self, workers: &[Worker]) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.entries.len() != workers.len() {
+            out.push(format!(
+                "dispatch index covers {} slots but cluster has {}",
+                self.entries.len(),
+                workers.len()
+            ));
+            return out;
+        }
+        let mut live_accepting = MinTree::new(workers.len());
+        let mut live_routable = MinTree::new(workers.len());
+        let mut live_accepting_count = 0;
+        let mut live_routable_count = 0;
+        for w in workers {
+            let (routable, accepting, outstanding) = w.dispatch_state();
+            let expect = routable.then_some(Entry {
+                outstanding,
+                accepting,
+            });
+            if self.entries[w.idx] != expect {
+                out.push(format!(
+                    "dispatch index entry for worker {} is {:?}, live state is {:?}",
+                    w.idx, self.entries[w.idx], expect
+                ));
+            }
+            live_routable.set(w.idx, expect.map(|e| (e.outstanding, w.idx)));
+            live_accepting.set(
+                w.idx,
+                expect.and_then(|e| e.accepting.then_some((e.outstanding, w.idx))),
+            );
+            live_routable_count += usize::from(expect.is_some());
+            live_accepting_count += usize::from(expect.is_some_and(|e| e.accepting));
+        }
+        if live_accepting.tree != self.accepting.tree
+            || live_accepting_count != self.accepting_count
+        {
+            out.push(format!(
+                "dispatch index accepting tier (count {}) != live (count {})",
+                self.accepting_count, live_accepting_count
+            ));
+        }
+        if live_routable.tree != self.routable.tree || live_routable_count != self.routable_count {
+            out.push(format!(
+                "dispatch index routable tier (count {}) != live (count {})",
+                self.routable_count, live_routable_count
+            ));
+        }
+        for (&cap, &cursor) in &self.cursors {
+            for w in workers.iter().take(cursor.min(workers.len())) {
+                if w.routable() && w.gpu.accepting() && w.outstanding < cap {
+                    out.push(format!(
+                        "first-fit cursor for cap {cap} at {cursor} skipped eligible worker {}",
+                        w.idx
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(states: &[(bool, bool, u64)]) -> DispatchIndex {
+        let mut index = DispatchIndex::new(states.len());
+        for (idx, &(routable, accepting, outstanding)) in states.iter().enumerate() {
+            index.refresh(idx, routable, accepting, outstanding);
+        }
+        index
+    }
+
+    #[test]
+    fn least_loaded_matches_min_by_key_tie_break() {
+        let index = filled(&[
+            (true, true, 5),
+            (true, true, 3),
+            (true, false, 1),
+            (true, true, 3),
+        ]);
+        // Ties on outstanding break toward the lower index, exactly as
+        // `min_by_key(|w| (w.outstanding, w.idx))` does.
+        assert_eq!(index.least_loaded_accepting(), Some(1));
+        // The routable tier sees the draining worker 2 as well.
+        assert_eq!(index.least_loaded_routable(), Some(2));
+        assert_eq!(index.routable_len(), 4);
+        assert_eq!(index.accepting_len(), 3);
+    }
+
+    #[test]
+    fn non_routable_workers_vanish_from_both_tiers() {
+        let mut index = filled(&[(true, true, 0), (true, true, 0)]);
+        index.refresh(0, false, false, 0);
+        assert_eq!(index.least_loaded_accepting(), Some(1));
+        index.refresh(1, false, true, 0);
+        assert!(index.least_loaded_accepting().is_none());
+        assert!(index.least_loaded_routable().is_none());
+        assert!(!index.any_routable());
+    }
+
+    #[test]
+    fn first_fit_skips_saturated_prefix_without_revisiting() {
+        let mut index = filled(&[(true, true, 4), (true, true, 4), (true, true, 0)]);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(4, &mut visits), Some(2));
+        assert_eq!(visits, 3);
+        // The saturated prefix is not rescanned on the next query.
+        let mut visits = 0;
+        assert_eq!(index.first_fit(4, &mut visits), Some(2));
+        assert_eq!(visits, 1);
+    }
+
+    #[test]
+    fn cursor_retreats_when_a_skipped_slot_regains_headroom() {
+        let mut index = filled(&[(true, true, 4), (true, true, 0)]);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(4, &mut visits), Some(1));
+        // Worker 0 completes work: the cursor must come back for it.
+        index.refresh(0, true, true, 3);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(4, &mut visits), Some(0));
+    }
+
+    #[test]
+    fn cursor_retreats_when_a_skipped_slot_turns_accepting() {
+        let mut index = filled(&[(true, false, 0), (true, true, 0)]);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(2, &mut visits), Some(1));
+        index.refresh(0, true, true, 0);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(2, &mut visits), Some(0));
+    }
+
+    #[test]
+    fn exhausted_first_fit_is_constant_time_until_headroom_returns() {
+        let mut index = filled(&[(true, true, 8), (true, true, 8)]);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(8, &mut visits), None);
+        assert_eq!(visits, 2);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(8, &mut visits), None);
+        assert_eq!(visits, 0);
+        index.refresh(1, true, true, 7);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(8, &mut visits), Some(1));
+    }
+
+    #[test]
+    fn distinct_caps_keep_independent_cursors() {
+        let mut index = filled(&[(true, true, 6), (true, true, 2)]);
+        let mut visits = 0;
+        // Cap 4: worker 0 saturated, lands on worker 1.
+        assert_eq!(index.first_fit(4, &mut visits), Some(1));
+        // Cap 8: worker 0 still has headroom — its own cursor is fresh.
+        assert_eq!(index.first_fit(8, &mut visits), Some(0));
+    }
+}

@@ -15,6 +15,7 @@ use protean_trace::{Request, Trace, TraceConfig};
 use crate::audit::{AuditReport, Auditor};
 use crate::batch::{Accumulator, Batch, BatchId};
 use crate::container::{Acquire, Pool};
+use crate::dispatch::DispatchIndex;
 use crate::journal::{Journal, JournalEvent};
 use crate::scheme::{BatchView, DispatchPolicy, PlacementCtx, ReconfigCtx, SchemeBuilder};
 use crate::worker::{RunningBatch, Worker, WorkerStatus};
@@ -106,6 +107,19 @@ pub struct ClusterConfig {
     /// results are bit-identical with it on or off; it is off by
     /// default because the sweep is O(cluster state) per event.
     pub audit: bool,
+    /// Invariant-sweep sampling: run the full cluster-state audit on
+    /// every `audit_every_n`-th opportunity (1 = every event, the
+    /// default; 0 is treated as 1). The auditor is a pure observer, so
+    /// sampling is digest-neutral; it exists so fleet-scale benchmark
+    /// runs can keep auditing on without paying an O(cluster state)
+    /// sweep per event. The O(1) batch-lifecycle checks stay unsampled.
+    pub audit_every_n: u64,
+    /// Selects the retained O(W) linear-scan dispatcher instead of the
+    /// incremental [`crate::dispatch::DispatchIndex`]. Both paths pick
+    /// the identical worker (same `(outstanding, idx)` tie-break); the
+    /// reference exists as the baseline for fleet-scale benchmarks and
+    /// for the differential tests that prove the equivalence.
+    pub reference_dispatch: bool,
 }
 
 impl ClusterConfig {
@@ -138,6 +152,8 @@ impl ClusterConfig {
             predictive_prewarm: false,
             journal_capacity: 0,
             audit: false,
+            audit_every_n: 1,
+            reference_dispatch: false,
         }
     }
 
@@ -190,6 +206,19 @@ pub struct EngineStats {
     /// `BootDone` events discarded because the worker's VM was replaced
     /// while the container boot was in flight.
     pub stale_boot_events: u64,
+    /// Dispatch target selections performed (sealed batches plus
+    /// eviction re-dispatches and backlog re-drains).
+    pub dispatch_batches: u64,
+    /// Worker slots examined across all dispatch target selections. The
+    /// linear scan pays ~W per batch; the index pays O(log W) — so
+    /// visits per batch is the direct measure of dispatch cost.
+    pub dispatch_scan_visits: u64,
+    /// Incremental maintenance operations applied to the dispatch
+    /// index.
+    pub index_updates: u64,
+    /// Batches that bounced straight back to the gateway backlog during
+    /// the drain pass that re-dispatched them (re-dispatch churn).
+    pub backlog_requeued: u64,
 }
 
 /// A completed MIG geometry change (Fig. 7 timeline).
@@ -380,6 +409,12 @@ struct Engine<'a> {
     /// runs on every dispatch/boot/finish event, so it must not allocate
     /// a fresh `Vec` per pass.
     scratch_views: Vec<(BatchId, BatchView)>,
+    /// Incremental index over worker dispatch state (status, GPU
+    /// accepting, `outstanding`). Kept coherent even under
+    /// `reference_dispatch` so the audit layer can cross-check it.
+    index: DispatchIndex,
+    /// Reusable distinct-model buffer for `prewarm_pools`.
+    scratch_models: Vec<ModelId>,
     stats: EngineStats,
     audit: Auditor,
     reconfigs: u64,
@@ -419,8 +454,10 @@ impl<'a> Engine<'a> {
             jitter_rng: factory.stream("engine.exec_jitter"),
             dispatch_policy: scheme.dispatch_policy(),
             scratch_views: Vec::new(),
+            index: DispatchIndex::new(config.workers),
+            scratch_models: Vec::new(),
             stats: EngineStats::default(),
-            audit: Auditor::new(config.audit),
+            audit: Auditor::new(config.audit, config.audit_every_n),
             reconfigs: 0,
             evictions: 0,
             censored: 0,
@@ -462,14 +499,34 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        for idx in 0..self.workers.len() {
+            self.refresh_index(idx);
+        }
         self.queue.push(
             SimTime::ZERO + self.config.monitor_interval,
             Event::MonitorTick,
         );
     }
 
+    /// Re-caches `idx`'s dispatch state in the index. Must follow any
+    /// mutation of the worker's status, GPU accepting state, or
+    /// `outstanding`. Reference-dispatch runs skip maintenance so the
+    /// benchmark baseline pays exactly what the pre-index engine paid —
+    /// unless the auditor is on, which keeps the index coherent so the
+    /// cross-check against the linear scans stays active.
+    fn refresh_index(&mut self, idx: usize) {
+        if self.config.reference_dispatch && !self.config.audit {
+            return;
+        }
+        self.index.refresh_worker(&self.workers[idx]);
+    }
+
     fn run(&mut self, requests: Vec<Request>, duration: SimDuration) {
         self.cutoff = SimTime::ZERO + duration + self.config.drain_grace;
+        // Every arrived request produces exactly one record (completed
+        // or censored); reserving up front keeps million-request fleet
+        // runs from re-growing the record store mid-measurement.
+        self.metrics.reserve(requests.len());
         self.prewarm_pools(&requests);
         let mut arrivals = requests.into_iter().peekable();
         loop {
@@ -484,7 +541,7 @@ impl<'a> Engine<'a> {
                     let r = arrivals.next().expect("peeked");
                     self.dispatch(r);
                     self.audit
-                        .check_cluster(self.now, &self.workers, &self.ledger);
+                        .check_cluster(self.now, &self.workers, &self.ledger, &self.index);
                 }
                 (Some(ta), None) => {
                     if ta > self.cutoff {
@@ -494,7 +551,7 @@ impl<'a> Engine<'a> {
                     let r = arrivals.next().expect("peeked");
                     self.dispatch(r);
                     self.audit
-                        .check_cluster(self.now, &self.workers, &self.ledger);
+                        .check_cluster(self.now, &self.workers, &self.ledger, &self.index);
                 }
                 (_, Some(te)) => {
                     if te > self.cutoff {
@@ -504,7 +561,7 @@ impl<'a> Engine<'a> {
                     let (_, ev) = self.queue.pop().expect("peeked");
                     self.handle(ev);
                     self.audit
-                        .check_cluster(self.now, &self.workers, &self.ledger);
+                        .check_cluster(self.now, &self.workers, &self.ledger, &self.index);
                 }
                 (None, None) => break,
             }
@@ -573,8 +630,9 @@ impl<'a> Engine<'a> {
         if self.config.prewarm_containers == 0 {
             return;
         }
+        let mut models = std::mem::take(&mut self.scratch_models);
+        models.clear();
         let mut seen: HashSet<ModelId> = HashSet::new();
-        let mut models: Vec<ModelId> = Vec::new();
         let mut last: Option<ModelId> = None;
         for r in requests {
             // Traces run a model for long stretches; skipping repeats of
@@ -590,6 +648,16 @@ impl<'a> Engine<'a> {
         let now = self.now;
         let count = self.config.prewarm_containers;
         for w in &mut self.workers {
+            // A worker already holding the prewarm quota for every trace
+            // model needs no inserts — the dominant case on re-entry.
+            let satisfied = models.iter().all(|m| {
+                w.pools
+                    .get(m)
+                    .is_some_and(|p| p.total_containers() as usize >= count)
+            });
+            if satisfied {
+                continue;
+            }
             for &m in &models {
                 w.pools
                     .entry(m)
@@ -597,40 +665,24 @@ impl<'a> Engine<'a> {
                     .prewarm(now, count);
             }
         }
+        self.scratch_models = models;
     }
 
     /// Dispatcher: routes a sealed batch per the scheme's policy —
     /// least-loaded live worker, or (INFless/Llama-style) consolidated
-    /// onto the fewest GPUs with memory headroom.
+    /// onto the fewest GPUs with memory headroom. Target selection goes
+    /// through the incremental [`DispatchIndex`] (O(log W) per batch)
+    /// unless [`ClusterConfig::reference_dispatch`] re-selects the
+    /// retained O(W) scans; both paths pick the identical worker.
     fn dispatch_batch(&mut self, batch: Batch) {
-        let consolidated = match self.dispatch_policy {
-            DispatchPolicy::Consolidate { cap_batches } => {
-                let cap = cap_batches * u64::from(self.catalog.profile(batch.model).batch_size);
-                self.workers
-                    .iter()
-                    .find(|w| w.routable() && w.gpu.accepting() && w.outstanding < cap)
-                    .map(|w| w.idx)
-            }
-            DispatchPolicy::LoadBalance => None,
+        self.stats.dispatch_batches += 1;
+        let mut visits = 0u64;
+        let target = if self.config.reference_dispatch {
+            self.reference_target(&batch, &mut visits)
+        } else {
+            self.indexed_target(&batch, &mut visits)
         };
-        // Prefer workers whose GPU is accepting jobs; a GPU draining for
-        // reconfiguration gets no new traffic (§4.4 keeps downtime
-        // local). Fall back to any live worker if every GPU is mid-change.
-        let target = consolidated
-            .or_else(|| {
-                self.workers
-                    .iter()
-                    .filter(|w| w.routable() && w.gpu.accepting())
-                    .min_by_key(|w| (w.outstanding, w.idx))
-                    .map(|w| w.idx)
-            })
-            .or_else(|| {
-                self.workers
-                    .iter()
-                    .filter(|w| w.routable())
-                    .min_by_key(|w| (w.outstanding, w.idx))
-                    .map(|w| w.idx)
-            });
+        self.stats.dispatch_scan_visits += visits;
         match target {
             Some(idx) => {
                 self.audit.batch_dispatched(
@@ -661,6 +713,7 @@ impl<'a> Engine<'a> {
                 // pre-provisioning; the target worker needs a container
                 // whether or not the batch is an orphan.
                 *w.window_batches.entry(batch.model).or_insert(0) += 1;
+                self.refresh_index(idx);
                 self.journal.record(
                     self.now,
                     JournalEvent::BatchDispatched {
@@ -673,6 +726,71 @@ impl<'a> Engine<'a> {
             }
             None => self.backlog.push_back(batch),
         }
+    }
+
+    /// Indexed target selection. Preference order matches the linear
+    /// path exactly: consolidate first-fit when the policy asks, then
+    /// the least-loaded worker with an accepting GPU — a GPU draining
+    /// for reconfiguration gets no new traffic (§4.4 keeps downtime
+    /// local) — then any live worker if every GPU is mid-change.
+    fn indexed_target(&mut self, batch: &Batch, visits: &mut u64) -> Option<usize> {
+        let consolidated = match self.dispatch_policy {
+            DispatchPolicy::Consolidate { cap_batches } => {
+                let cap = cap_batches * u64::from(self.catalog.profile(batch.model).batch_size);
+                self.index.first_fit(cap, visits)
+            }
+            DispatchPolicy::LoadBalance => None,
+        };
+        consolidated
+            .or_else(|| {
+                *visits += 1;
+                self.index.least_loaded_accepting()
+            })
+            .or_else(|| {
+                *visits += 1;
+                self.index.least_loaded_routable()
+            })
+    }
+
+    /// The original O(W) scans, retained as the differential reference
+    /// and the fleet-scale benchmark baseline
+    /// ([`ClusterConfig::reference_dispatch`]).
+    fn reference_target(&self, batch: &Batch, visits: &mut u64) -> Option<usize> {
+        let consolidated = match self.dispatch_policy {
+            DispatchPolicy::Consolidate { cap_batches } => {
+                let cap = cap_batches * u64::from(self.catalog.profile(batch.model).batch_size);
+                self.workers
+                    .iter()
+                    .find(|w| {
+                        *visits += 1;
+                        w.routable() && w.gpu.accepting() && w.outstanding < cap
+                    })
+                    .map(|w| w.idx)
+            }
+            DispatchPolicy::LoadBalance => None,
+        };
+        if consolidated.is_some() {
+            return consolidated;
+        }
+        // Prefer workers whose GPU is accepting jobs; a GPU draining for
+        // reconfiguration gets no new traffic (§4.4 keeps downtime
+        // local). Fall back to any live worker if every GPU is mid-change.
+        *visits += self.workers.len() as u64;
+        let accepting = self
+            .workers
+            .iter()
+            .filter(|w| w.routable() && w.gpu.accepting())
+            .min_by_key(|w| (w.outstanding, w.idx))
+            .map(|w| w.idx);
+        if accepting.is_some() {
+            return accepting;
+        }
+        *visits += self.workers.len() as u64;
+        self.workers
+            .iter()
+            .filter(|w| w.routable())
+            .min_by_key(|w| (w.outstanding, w.idx))
+            .map(|w| w.idx)
     }
 
     fn acquire_container(&mut self, idx: usize, batch: Batch) {
@@ -1014,6 +1132,7 @@ impl<'a> Engine<'a> {
                 / running.batch.requests.len().max(1) as f64;
             self.strict_latency_timeline.push(now, mean_lat_ms);
         }
+        self.refresh_index(idx);
     }
 
     fn on_monitor_tick(&mut self) {
@@ -1047,6 +1166,7 @@ impl<'a> Engine<'a> {
             if let Some(geometry) = desired {
                 if geometry != *self.workers[idx].gpu.geometry() && self.reconfig_slots_free() {
                     let _ = self.workers[idx].gpu.request_reconfigure(geometry);
+                    self.refresh_index(idx);
                     self.maybe_begin_reconfigure(idx);
                 }
             }
@@ -1106,11 +1226,17 @@ impl<'a> Engine<'a> {
     }
 
     fn reconfig_slots_free(&self) -> bool {
-        let busy = self
-            .workers
-            .iter()
-            .filter(|w| !w.gpu.accepting() && matches!(w.status, WorkerStatus::Up))
-            .count();
+        // Up workers with a non-accepting GPU are exactly the index's
+        // routable tier minus its accepting tier — O(1) instead of a
+        // per-worker-per-tick fleet walk.
+        let busy = if self.config.reference_dispatch {
+            self.workers
+                .iter()
+                .filter(|w| !w.gpu.accepting() && matches!(w.status, WorkerStatus::Up))
+                .count()
+        } else {
+            self.index.routable_len() - self.index.accepting_len()
+        };
         let cap = ((self.config.max_reconfig_fraction * self.workers.len() as f64).ceil() as usize)
             .max(1);
         busy < cap
@@ -1148,6 +1274,7 @@ impl<'a> Engine<'a> {
                 worker: idx,
                 geometry,
             });
+            self.refresh_index(idx);
             self.try_place(idx);
         }
     }
@@ -1162,6 +1289,7 @@ impl<'a> Engine<'a> {
         if let Some(lead) = self.market.roll_revocation(self.now, idx) {
             let evict_at = self.now + lead;
             self.workers[idx].status = WorkerStatus::Evicting { evict_at };
+            self.refresh_index(idx);
             self.journal.record(
                 self.now,
                 JournalEvent::EvictionNotice {
@@ -1216,6 +1344,7 @@ impl<'a> Engine<'a> {
             Some((vm, tier)) => self.install_vm(idx, vm, tier),
             None => {
                 self.workers[idx].status = WorkerStatus::Down;
+                self.refresh_index(idx);
             }
         }
         for mut b in orphans {
@@ -1255,6 +1384,7 @@ impl<'a> Engine<'a> {
             .set_reconfig_delay(self.config.reconfig_delay);
         self.workers[idx].vm = Some((vm, tier));
         self.workers[idx].status = WorkerStatus::Up;
+        self.refresh_index(idx);
         self.journal
             .record(self.now, JournalEvent::VmInstalled { worker: idx });
         if tier == VmTier::Spot {
@@ -1272,14 +1402,28 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Safety valve: re-dispatches gateway-backlogged batches once a
+    /// routable worker exists. One pass over the original pending set —
+    /// a batch that lands back in the backlog during the pass stays
+    /// there for the next drain (counted as churn) instead of being
+    /// re-drained in a loop within the same call.
     fn drain_backlog(&mut self) {
-        if self.backlog.is_empty() || !self.workers.iter().any(Worker::routable) {
+        if self.backlog.is_empty() {
+            return;
+        }
+        let routable = if self.config.reference_dispatch {
+            self.workers.iter().any(Worker::routable)
+        } else {
+            self.index.any_routable()
+        };
+        if !routable {
             return;
         }
         let pending: Vec<Batch> = self.backlog.drain(..).collect();
         for b in pending {
             self.dispatch_batch(b);
         }
+        self.stats.backlog_requeued += self.backlog.len() as u64;
     }
 
     // ---- teardown --------------------------------------------------------
@@ -1360,6 +1504,7 @@ impl<'a> Engine<'a> {
             events_pushed: self.queue.pushed(),
             events_popped: self.queue.popped(),
             peak_heap_len: self.queue.peak_len(),
+            index_updates: self.index.updates(),
             ..self.stats
         };
         SimulationResult {

@@ -9,7 +9,8 @@
 //! request path:
 //!
 //! 1. requests **arrive** at the gateway (from a `protean-trace` trace)
-//!    and are **dispatched** to the least-loaded live worker;
+//!    and are **dispatched** to the least-loaded live worker, selected
+//!    in O(log W) by the incremental [`dispatch::DispatchIndex`];
 //! 2. per `(model, strictness)` they accumulate into **batches** (batch
 //!    sizes from the model catalog), sealed when full or when the batch
 //!    window expires;
@@ -59,6 +60,7 @@
 pub mod audit;
 pub mod batch;
 pub mod container;
+pub mod dispatch;
 pub mod engine;
 pub mod fault;
 pub mod journal;
@@ -67,6 +69,7 @@ pub mod worker;
 
 pub use audit::AuditReport;
 pub use batch::{Batch, BatchId};
+pub use dispatch::DispatchIndex;
 pub use engine::{
     run_simulation, run_simulation_on, run_simulation_with_oracle, run_trace_with_oracle,
     ClusterConfig, CostReport, SimulationResult,

@@ -280,6 +280,13 @@ impl Worker {
         matches!(self.status, WorkerStatus::Up)
     }
 
+    /// The `(routable, gpu accepting, outstanding)` triple that fully
+    /// determines this worker's dispatch eligibility and rank — the
+    /// state cached by [`crate::dispatch::DispatchIndex`].
+    pub fn dispatch_state(&self) -> (bool, bool, u64) {
+        (self.routable(), self.gpu.accepting(), self.outstanding)
+    }
+
     /// Re-validates a popped `JobFinish` event: the worker's GPU must
     /// not have been rebuilt since the event was armed (`epoch`), the
     /// slice must still exist, and its membership must be unchanged

@@ -62,6 +62,12 @@ echo ">>> stats_significance"
 echo ">>> harness_timing"
 ./target/release/harness_timing 20 "$SEED" >"$OUT/harness_timing.txt" 2>/dev/null
 
+# Fleet-scale dispatch sweep: linear-vs-indexed wall-clock and scan
+# counters per fleet size, written to results/bench_pr5.json. Uses its
+# own 150 s duration so the 512-worker cell crosses 1M requests.
+echo ">>> bench_pr5"
+./target/release/bench_pr5 150 "$SEED" >"$OUT/bench_pr5.txt" 2>/dev/null
+
 TOTAL=$(($(date +%s) - START_EPOCH))
 echo "All outputs written to $OUT/"
 echo "Total wall-clock: ${TOTAL}s"

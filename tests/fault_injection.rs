@@ -273,3 +273,35 @@ fn audited_golden_spot_run_is_bit_identical_and_clean() {
     assert!(audited.audit.checks > 0);
     assert!(!plain.audit.enabled);
 }
+
+/// `audit_every_n` sampling must thin the full-state sweeps without
+/// changing anything observable: a sampled run digests bit-identically
+/// to the every-event run, stays clean, and performs roughly 1/n of the
+/// sweeps. Fleet-scale benchmarks rely on this to keep the auditor on.
+#[test]
+fn sampled_audit_is_digest_neutral_and_thins_sweeps() {
+    let make = |every_n: u64| {
+        let mut config = spot_config();
+        config.audit_every_n = every_n;
+        let mut market = ScriptedMarket::new()
+            .evict(0, SimTime::from_secs(5.0), SimDuration::from_secs(5.0))
+            .evict(2, SimTime::from_secs(12.0), SimDuration::from_secs(3.0));
+        let t = trace(200.0, 30.0);
+        run_simulation_with_oracle(&config, &ProteanBuilder::paper(), &t, &mut market)
+    };
+    let full = make(1);
+    let sampled = make(7);
+    assert_eq!(
+        golden::digest(&full),
+        golden::digest(&sampled),
+        "audit sampling changed an observable result"
+    );
+    assert!(sampled.audit.is_clean(), "{:?}", sampled.audit.violations);
+    assert!(full.audit.checks > 0 && sampled.audit.checks > 0);
+    assert!(
+        sampled.audit.checks <= full.audit.checks / 6,
+        "sampling 1-in-7 left too many sweeps: {} vs {}",
+        sampled.audit.checks,
+        full.audit.checks
+    );
+}
