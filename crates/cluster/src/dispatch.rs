@@ -15,11 +15,14 @@
 //!   `min_by_key` tie-break *exactly*, while updates re-fold one
 //!   O(log W) root path in a flat array (no per-node allocations to
 //!   miss cache on at fleet scale);
-//! * a dense per-worker snapshot used by the `Consolidate` first-fit
-//!   cursor: for each distinct headroom cap the index remembers the
-//!   lowest slot that might still be eligible, so repeated first-fit
-//!   queries resume where the last one stopped instead of rescanning
-//!   the saturated prefix.
+//! * `Consolidate` first-fit reuses the accepting tier's tree as a
+//!   max-headroom oracle: an internal node's key is the minimum
+//!   `(outstanding, idx)` of its subtree, so "does this subtree hold a
+//!   worker with headroom under `cap`?" is a single comparison, and a
+//!   root descent that prefers the left child whenever it qualifies
+//!   lands on the *leftmost* accepting worker with `outstanding < cap`
+//!   in O(log W) — the identical slot the linear front scan finds —
+//!   while a fully saturated fleet is rejected in O(1) at the root.
 //!
 //! The engine refreshes a worker's entry at every point its dispatch
 //! state can change: `outstanding` increments (dispatch) and decrements
@@ -31,8 +34,6 @@
 //! digests and cross-checked against a retained linear reference by
 //! the audit layer ([`DispatchIndex::verify`]) and the property tests
 //! in `tests/dispatch_index.rs`.
-
-use std::collections::HashMap;
 
 use crate::worker::Worker;
 
@@ -102,11 +103,6 @@ pub struct DispatchIndex {
     routable_count: usize,
     /// Dense snapshot per worker slot; `None` = not routable.
     entries: Vec<Option<Entry>>,
-    /// First-fit resume point per distinct `Consolidate` headroom cap.
-    /// Invariant: every slot below the cursor is ineligible for that cap
-    /// (not routable, not accepting, or `outstanding >= cap`). A refresh
-    /// that makes a slot newly eligible retreats every cursor above it.
-    cursors: HashMap<u64, usize>,
     /// Maintenance operations applied (surfaced in `EngineStats`).
     updates: u64,
 }
@@ -120,7 +116,6 @@ impl DispatchIndex {
             accepting_count: 0,
             routable_count: 0,
             entries: vec![None; n],
-            cursors: HashMap::new(),
             updates: 0,
         }
     }
@@ -147,21 +142,6 @@ impl DispatchIndex {
         self.accepting_count = self.accepting_count + usize::from(new.is_some_and(|e| e.accepting))
             - usize::from(old.is_some_and(|e| e.accepting));
         self.entries[idx] = new;
-        // A slot that just became accepting, or whose outstanding
-        // dropped while accepting, may now satisfy a first-fit cap it
-        // previously failed — pull every cursor parked past it back.
-        let gained = match (old, new) {
-            (_, None) => false,
-            (None, Some(n)) => n.accepting,
-            (Some(o), Some(n)) => n.accepting && (!o.accepting || n.outstanding < o.outstanding),
-        };
-        if gained {
-            for cursor in self.cursors.values_mut() {
-                if *cursor > idx {
-                    *cursor = idx;
-                }
-            }
-        }
     }
 
     /// [`DispatchIndex::refresh`] from the worker's live state.
@@ -203,29 +183,39 @@ impl DispatchIndex {
     }
 
     /// `Consolidate` first-fit: the lowest-indexed routable, accepting
-    /// worker with `outstanding < cap`, resuming from the cap's cursor.
-    /// Each slot examined adds one to `visits` (the linear scan's unit
-    /// of work, surfaced in `EngineStats::dispatch_scan_visits`).
-    pub fn first_fit(&mut self, cap: u64, visits: &mut u64) -> Option<usize> {
-        let n = self.entries.len();
-        let mut i = *self.cursors.get(&cap).unwrap_or(&0);
-        while i < n {
-            *visits += 1;
-            if let Some(e) = self.entries[i] {
-                if e.accepting && e.outstanding < cap {
-                    break;
-                }
-            }
-            i += 1;
+    /// worker with `outstanding < cap`, answered by root descent over
+    /// the accepting tournament tree. An internal node's key is the
+    /// minimum `(outstanding, idx)` of its subtree, so `key.0 < cap`
+    /// holds exactly when the subtree contains a worker with headroom;
+    /// preferring the left child whenever it qualifies reaches the
+    /// leftmost eligible leaf — the identical slot the linear front
+    /// scan returns — in O(log W), and a saturated fleet is rejected
+    /// in O(1) at the root. Each *query* adds one to `visits` (the
+    /// indexed dispatcher's unit of work, surfaced in
+    /// `EngineStats::dispatch_scan_visits`), matching the least-loaded
+    /// tiers' one-visit-per-query accounting.
+    pub fn first_fit(&self, cap: u64, visits: &mut u64) -> Option<usize> {
+        *visits += 1;
+        let tree = &self.accepting.tree;
+        if tree[1].0 >= cap {
+            return None;
         }
-        self.cursors.insert(cap, i);
-        (i < n).then_some(i)
+        let mut i = 1;
+        while i < self.accepting.cap {
+            i = if tree[2 * i].0 < cap {
+                2 * i
+            } else {
+                2 * i + 1
+            };
+        }
+        Some(tree[i].1)
     }
 
     /// Cross-checks the index against the workers' live state: the
     /// audited index-coherence invariant. Returns one message per
-    /// discrepancy (tier membership, dense snapshot, or a first-fit
-    /// cursor that skipped an eligible slot).
+    /// discrepancy (tier membership, tree contents, or dense snapshot
+    /// — the first-fit descent reads only the accepting tree, so tree
+    /// equality covers it).
     pub fn verify(&self, workers: &[Worker]) -> Vec<String> {
         let mut out = Vec::new();
         if self.entries.len() != workers.len() {
@@ -274,16 +264,6 @@ impl DispatchIndex {
                 self.routable_count, live_routable_count
             ));
         }
-        for (&cap, &cursor) in &self.cursors {
-            for w in workers.iter().take(cursor.min(workers.len())) {
-                if w.routable() && w.gpu.accepting() && w.outstanding < cap {
-                    out.push(format!(
-                        "first-fit cursor for cap {cap} at {cursor} skipped eligible worker {}",
-                        w.idx
-                    ));
-                }
-            }
-        }
         out
     }
 }
@@ -329,59 +309,72 @@ mod tests {
     }
 
     #[test]
-    fn first_fit_skips_saturated_prefix_without_revisiting() {
-        let mut index = filled(&[(true, true, 4), (true, true, 4), (true, true, 0)]);
+    fn first_fit_descends_to_the_leftmost_slot_with_headroom() {
+        let index = filled(&[(true, true, 4), (true, true, 4), (true, true, 0)]);
         let mut visits = 0;
         assert_eq!(index.first_fit(4, &mut visits), Some(2));
-        assert_eq!(visits, 3);
-        // The saturated prefix is not rescanned on the next query.
-        let mut visits = 0;
-        assert_eq!(index.first_fit(4, &mut visits), Some(2));
+        // A query is one unit of work regardless of fleet shape.
         assert_eq!(visits, 1);
-    }
-
-    #[test]
-    fn cursor_retreats_when_a_skipped_slot_regains_headroom() {
-        let mut index = filled(&[(true, true, 4), (true, true, 0)]);
-        let mut visits = 0;
-        assert_eq!(index.first_fit(4, &mut visits), Some(1));
-        // Worker 0 completes work: the cursor must come back for it.
-        index.refresh(0, true, true, 3);
+        // First-fit, not best-fit: the leftmost slot with headroom wins
+        // even when a later slot is emptier.
+        let index = filled(&[(true, true, 3), (true, true, 0)]);
         let mut visits = 0;
         assert_eq!(index.first_fit(4, &mut visits), Some(0));
     }
 
     #[test]
-    fn cursor_retreats_when_a_skipped_slot_turns_accepting() {
-        let mut index = filled(&[(true, false, 0), (true, true, 0)]);
-        let mut visits = 0;
-        assert_eq!(index.first_fit(2, &mut visits), Some(1));
-        index.refresh(0, true, true, 0);
-        let mut visits = 0;
-        assert_eq!(index.first_fit(2, &mut visits), Some(0));
-    }
-
-    #[test]
-    fn exhausted_first_fit_is_constant_time_until_headroom_returns() {
+    fn saturated_fleet_is_rejected_at_the_root() {
         let mut index = filled(&[(true, true, 8), (true, true, 8)]);
         let mut visits = 0;
         assert_eq!(index.first_fit(8, &mut visits), None);
-        assert_eq!(visits, 2);
-        let mut visits = 0;
-        assert_eq!(index.first_fit(8, &mut visits), None);
-        assert_eq!(visits, 0);
+        assert_eq!(visits, 1);
         index.refresh(1, true, true, 7);
         let mut visits = 0;
         assert_eq!(index.first_fit(8, &mut visits), Some(1));
     }
 
     #[test]
-    fn distinct_caps_keep_independent_cursors() {
-        let mut index = filled(&[(true, true, 6), (true, true, 2)]);
+    fn refreshed_headroom_is_visible_to_the_next_descent() {
+        let mut index = filled(&[(true, true, 4), (true, true, 0)]);
         let mut visits = 0;
-        // Cap 4: worker 0 saturated, lands on worker 1.
         assert_eq!(index.first_fit(4, &mut visits), Some(1));
-        // Cap 8: worker 0 still has headroom — its own cursor is fresh.
+        // Worker 0 completes a request: the next descent finds it.
+        index.refresh(0, true, true, 3);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(4, &mut visits), Some(0));
+    }
+
+    #[test]
+    fn draining_slots_are_invisible_to_first_fit() {
+        let mut index = filled(&[(true, false, 0), (true, true, 0)]);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(2, &mut visits), Some(1));
+        // Reconfiguration completes; worker 0 accepts again.
+        index.refresh(0, true, true, 0);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(2, &mut visits), Some(0));
+    }
+
+    #[test]
+    fn distinct_caps_share_the_same_tree() {
+        let index = filled(&[(true, true, 6), (true, true, 2)]);
+        let mut visits = 0;
+        // Cap 4: worker 0 saturated, descent bears right to worker 1.
+        assert_eq!(index.first_fit(4, &mut visits), Some(1));
+        // Cap 8: worker 0 has headroom again — no per-cap state to go stale.
         assert_eq!(index.first_fit(8, &mut visits), Some(0));
+        // Cap 1: nobody idle.
+        assert_eq!(index.first_fit(1, &mut visits), None);
+        assert_eq!(visits, 3);
+    }
+
+    #[test]
+    fn descent_ignores_padding_leaves_in_non_power_of_two_fleets() {
+        // Three slots pad to four leaves; the spare leaf holds the
+        // ABSENT sentinel and must never attract the descent.
+        let index = filled(&[(true, true, 9), (true, true, 9), (true, true, 1)]);
+        let mut visits = 0;
+        assert_eq!(index.first_fit(9, &mut visits), Some(2));
+        assert_eq!(index.first_fit(1, &mut visits), None);
     }
 }

@@ -10,7 +10,7 @@ use protean_spot::{
     PricingTable, ProcurementPolicy, Provider, SpotAvailability, SpotMarket, SpotOracle, VmId,
     VmLedger, VmTier,
 };
-use protean_trace::{Request, Trace, TraceConfig};
+use protean_trace::{Request, Trace, TraceConfig, TraceStream};
 
 use crate::audit::{AuditReport, Auditor};
 use crate::batch::{Accumulator, Batch, BatchId};
@@ -120,6 +120,15 @@ pub struct ClusterConfig {
     /// reference exists as the baseline for fleet-scale benchmarks and
     /// for the differential tests that prove the equivalence.
     pub reference_dispatch: bool,
+    /// O(1)-memory metrics: store per-class latency histograms instead
+    /// of per-request records, and skip the per-strict-batch latency
+    /// timeline. Dispatch decisions, event ordering and RNG consumption
+    /// are untouched — only what gets *recorded* changes — so the run
+    /// itself is bit-identical; exact per-record outputs (golden
+    /// digests, CDFs, tail breakdowns) need the default full mode.
+    /// Required for ≥10⁹-request endurance runs, whose record store
+    /// would otherwise grow without bound.
+    pub aggregate_metrics: bool,
 }
 
 impl ClusterConfig {
@@ -154,6 +163,7 @@ impl ClusterConfig {
             audit: false,
             audit_every_n: 1,
             reference_dispatch: false,
+            aggregate_metrics: false,
         }
     }
 
@@ -388,6 +398,38 @@ pub fn run_trace_with_oracle(
     engine.into_result(scheme.name().to_string())
 }
 
+/// [`run_simulation`] with arrivals pulled lazily from
+/// [`TraceConfig::stream`] instead of a materialised request vector:
+/// bit-identical results (same seeded RNG streams, same event
+/// interleaving), O(1) arrival memory. Combine with
+/// [`ClusterConfig::aggregate_metrics`] for runs whose *output* must
+/// also stay O(1) — that is the flat-RSS contract the billion-request
+/// soak benchmarks pin.
+pub fn run_simulation_streaming(
+    config: &ClusterConfig,
+    scheme: &dyn SchemeBuilder,
+    trace_config: &TraceConfig,
+) -> SimulationResult {
+    let factory = RngFactory::new(config.seed);
+    let mut market = SpotMarket::new(config.availability, factory.stream("spot.market"));
+    run_stream_with_oracle(config, scheme, trace_config, &mut market)
+}
+
+/// [`run_simulation_streaming`] with the spot market replaced by an
+/// arbitrary [`SpotOracle`] (see [`run_simulation_with_oracle`]).
+pub fn run_stream_with_oracle(
+    config: &ClusterConfig,
+    scheme: &dyn SchemeBuilder,
+    trace_config: &TraceConfig,
+    oracle: &mut dyn SpotOracle,
+) -> SimulationResult {
+    let factory = RngFactory::new(config.seed);
+    let catalog = Catalog::new();
+    let mut engine = Engine::new(config, scheme, &catalog, &factory, oracle);
+    engine.run_streaming(trace_config.stream(&factory), trace_config.stream(&factory));
+    engine.into_result(scheme.name().to_string())
+}
+
 struct Engine<'a> {
     config: &'a ClusterConfig,
     catalog: &'a Catalog,
@@ -446,7 +488,11 @@ impl<'a> Engine<'a> {
             ledger,
             accumulators: HashMap::new(),
             backlog: VecDeque::new(),
-            metrics: MetricsSet::new(),
+            metrics: if config.aggregate_metrics {
+                MetricsSet::aggregate()
+            } else {
+                MetricsSet::new()
+            },
             strict_latency_timeline: TimeSeries::new(),
             geometry_timeline: Vec::new(),
             next_batch_id: 0,
@@ -522,13 +568,29 @@ impl<'a> Engine<'a> {
     }
 
     fn run(&mut self, requests: Vec<Request>, duration: SimDuration) {
-        self.cutoff = SimTime::ZERO + duration + self.config.drain_grace;
         // Every arrived request produces exactly one record (completed
         // or censored); reserving up front keeps million-request fleet
         // runs from re-growing the record store mid-measurement.
         self.metrics.reserve(requests.len());
         self.prewarm_pools(&requests);
-        let mut arrivals = requests.into_iter().peekable();
+        self.run_arrivals(requests.into_iter(), duration);
+    }
+
+    /// [`Engine::run`] pulling arrivals from a [`TraceStream`] instead
+    /// of a materialised vector: identical event interleaving and RNG
+    /// consumption (arrivals ride their own labeled streams), so the
+    /// results are bit-identical to the materialised run, while the
+    /// arrival store stays O(1) no matter how many requests the trace
+    /// carries. A second stream instance feeds the prewarm pre-pass.
+    fn run_streaming(&mut self, arrivals: TraceStream, prewarm_scan: TraceStream) {
+        let duration = arrivals.duration();
+        self.prewarm_pools_streaming(prewarm_scan);
+        self.run_arrivals(arrivals, duration);
+    }
+
+    fn run_arrivals<I: Iterator<Item = Request>>(&mut self, arrivals: I, duration: SimDuration) {
+        self.cutoff = SimTime::ZERO + duration + self.config.drain_grace;
+        let mut arrivals = arrivals.peekable();
         loop {
             let next_arrival = arrivals.peek().map(|r| r.arrival);
             let next_event = self.queue.peek_time();
@@ -645,6 +707,42 @@ impl<'a> Engine<'a> {
                 models.push(r.model);
             }
         }
+        self.prewarm_models(&models);
+        self.scratch_models = models;
+    }
+
+    /// [`Engine::prewarm_pools`] for a streamed trace: walks a fresh
+    /// stream instance collecting distinct models in the same
+    /// first-appearance order the materialised scan sees, stopping as
+    /// soon as every model the stream *can* produce
+    /// ([`TraceStream::model_universe`]) has appeared — a few rotation
+    /// periods in practice, never the full request count.
+    fn prewarm_pools_streaming(&mut self, stream: TraceStream) {
+        if self.config.prewarm_containers == 0 {
+            return;
+        }
+        let universe = stream.model_universe().len();
+        let mut models = std::mem::take(&mut self.scratch_models);
+        models.clear();
+        let mut seen: HashSet<ModelId> = HashSet::new();
+        let mut last: Option<ModelId> = None;
+        for r in stream {
+            if last == Some(r.model) {
+                continue;
+            }
+            last = Some(r.model);
+            if seen.insert(r.model) {
+                models.push(r.model);
+                if models.len() >= universe {
+                    break;
+                }
+            }
+        }
+        self.prewarm_models(&models);
+        self.scratch_models = models;
+    }
+
+    fn prewarm_models(&mut self, models: &[ModelId]) {
         let now = self.now;
         let count = self.config.prewarm_containers;
         for w in &mut self.workers {
@@ -658,14 +756,13 @@ impl<'a> Engine<'a> {
             if satisfied {
                 continue;
             }
-            for &m in &models {
+            for &m in models {
                 w.pools
                     .entry(m)
                     .or_insert_with(Pool::new)
                     .prewarm(now, count);
             }
         }
-        self.scratch_models = models;
     }
 
     /// Dispatcher: routes a sealed batch per the scheme's policy —
@@ -1122,7 +1219,9 @@ impl<'a> Engine<'a> {
             });
             w.outstanding = w.outstanding.saturating_sub(1);
         }
-        if running.batch.strict {
+        // The timeline grows O(#strict batches); aggregate-metrics
+        // runs trade it away for the flat-RSS guarantee.
+        if running.batch.strict && !self.config.aggregate_metrics {
             let mean_lat_ms = running
                 .batch
                 .requests

@@ -1,0 +1,666 @@
+//! PR-6 benchmark reporter: descent-dispatch fleet sweep to 8192
+//! workers plus a billion-request streaming soak, written to
+//! `results/bench_pr6.json` (analysis in `PERF.md`).
+//!
+//! Two parts:
+//!
+//! **Sweep** — extends the PR-5 fleet sweep to 8192 workers and three
+//! policy rows per fleet size:
+//!
+//! 1. `load_balance` (PROTEAN) — least-loaded selection;
+//! 2. `consolidate` (INFless/Llama, cap 10 batches) — deep packing.
+//!    At the paper's per-worker load this regime is *not*
+//!    dispatch-bound: the linear front scan stops at the saturated
+//!    prefix (~300 slots at 2048 workers), so wall-clock gains are
+//!    Amdahl-capped however fast the index is — a documented negative
+//!    result (see PERF.md);
+//! 3. `consolidate_tight` (same placement, cap 1 batch) — shallow
+//!    GPUlet-style packing where steady-state load keeps most workers
+//!    at the cap, the front scan degenerates to O(W), and the
+//!    tournament-tree root descent shows its full win. This row
+//!    carries the ≥2x wall-clock assertion at fleet scale.
+//!
+//! Every cell is a *three-way* differential: the linear reference, the
+//! indexed run, and the indexed run fed by the streaming trace
+//! iterator must produce bit-identical digests.
+//!
+//! **Soak** — a multi-day diurnal wiki trace (24 h period) streamed
+//! through the engine with `aggregate_metrics`: ≥10⁹ requests at O(1)
+//! memory, with RSS sampled throughout and asserted flat. A
+//! materialised-vs-streamed digest preflight on a truncated slice of
+//! the same configuration ties the soak path to the differential
+//! discipline before the long run starts.
+//!
+//! Usage: `bench_pr6 [duration_secs] [seed] [workers_csv|none] [soak_requests]`
+//! (defaults: 30 s per sweep cell, seed 42, fleets
+//! `8,32,128,512,2048,8192`, 1e9-request soak; `none` skips the sweep,
+//! `0` skips the soak). CI smoke: `bench_pr6 3 42 2048 0` and
+//! `bench_pr6 3 42 none 1000000`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_cluster::{
+    run_simulation_on, run_simulation_streaming, DispatchPolicy, Scheme, SchemeBuilder,
+    SimulationResult,
+};
+use protean_experiments::report::{banner, table};
+use protean_experiments::setup::LANGUAGE_RPS;
+use protean_experiments::{golden, PaperSetup};
+use protean_metrics::record::Class;
+use protean_models::ModelId;
+use protean_sim::{RngFactory, SimDuration};
+use protean_trace::{TraceConfig, TraceShape};
+
+/// INFless/Llama placement with a 1-batch consolidation cap: the
+/// shallow-packing regime (GPUlet sizes its gpu-lets this tightly)
+/// where the fleet's steady state keeps the consolidated prefix at the
+/// cap and linear first-fit degenerates to a full O(W) walk.
+struct TightConsolidate;
+
+impl SchemeBuilder for TightConsolidate {
+    fn build(&self, worker: usize) -> Box<dyn Scheme> {
+        Baseline::InflessLlama.build(worker)
+    }
+
+    fn name(&self) -> &'static str {
+        "INFless/Llama (cap 1)"
+    }
+
+    fn dispatch_policy(&self) -> DispatchPolicy {
+        DispatchPolicy::Consolidate { cap_batches: 1 }
+    }
+}
+
+struct CellRow {
+    policy: &'static str,
+    workers: usize,
+    requests: usize,
+    batches: u64,
+    linear_secs: f64,
+    indexed_secs: f64,
+    streamed_secs: f64,
+    linear_visits: u64,
+    indexed_visits: u64,
+    index_updates: u64,
+}
+
+impl CellRow {
+    fn speedup(&self) -> f64 {
+        self.linear_secs / self.indexed_secs.max(1e-9)
+    }
+
+    fn linear_visits_per_batch(&self) -> f64 {
+        self.linear_visits as f64 / (self.batches as f64).max(1.0)
+    }
+
+    fn indexed_visits_per_batch(&self) -> f64 {
+        self.indexed_visits as f64 / (self.batches as f64).max(1.0)
+    }
+}
+
+/// The sweep workload: the paper's language trace (batch size 4 — the
+/// dispatch-bound regime) with per-worker load held constant as the
+/// fleet grows. `load_factor` scales the per-worker rate: 1.0 is the
+/// paper's operating point (utilization ≈ 0.2), 3.0 pushes utilization
+/// to ≈ 0.6.
+fn sweep_trace(setup: &PaperSetup, workers: usize, load_factor: f64) -> TraceConfig {
+    let mut trace = setup.wiki_trace(ModelId::Albert);
+    trace.shape = TraceShape::wiki(load_factor * LANGUAGE_RPS * workers as f64 / 8.0);
+    trace
+}
+
+fn run_cell(
+    setup: &PaperSetup,
+    scheme: &dyn SchemeBuilder,
+    policy: &'static str,
+    workers: usize,
+) -> CellRow {
+    let mut config = setup.cluster();
+    config.workers = workers;
+    // The tight-cap row runs at 3x the paper's per-worker load
+    // (utilization ≈ 0.6): shallow caps at elevated utilization keep
+    // the consolidated frontier near the fleet edge, which is exactly
+    // the regime where Consolidate dispatch is the bottleneck. At the
+    // paper's own load the frontier covers ~25% of the fleet and
+    // dispatch never dominates (the deep-cap row documents that);
+    // above ~3.5x the fleet saturates outright and queueing inflates
+    // both runs' engine cost, diluting the dispatch share again (the
+    // calibration scan lives in PERF.md).
+    let load_factor = if policy == "consolidate_tight" {
+        std::env::var("BENCH_PR6_TIGHT_LOAD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3.0)
+    } else {
+        1.0
+    };
+    let trace_config = sweep_trace(setup, workers, load_factor);
+    let factory = RngFactory::new(config.seed);
+    let trace = trace_config.generate(&factory);
+    let requests = trace.requests().len();
+
+    let mut linear_config = config.clone();
+    linear_config.reference_dispatch = true;
+    let reps: usize = std::env::var("BENCH_PR6_REPS")
+        .ok()
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(2);
+    let mut linear_secs = f64::INFINITY;
+    let mut indexed_secs = f64::INFINITY;
+    let mut streamed_secs = f64::INFINITY;
+    let (mut linear, mut indexed, mut streamed) = (None, None, None);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let run = run_simulation_on(&linear_config, scheme, trace.clone());
+        linear_secs = linear_secs.min(t0.elapsed().as_secs_f64());
+        linear = Some(run);
+        let t1 = Instant::now();
+        let run = run_simulation_on(&config, scheme, trace.clone());
+        indexed_secs = indexed_secs.min(t1.elapsed().as_secs_f64());
+        indexed = Some(run);
+        let t2 = Instant::now();
+        let run = run_simulation_streaming(&config, scheme, &trace_config);
+        streamed_secs = streamed_secs.min(t2.elapsed().as_secs_f64());
+        streamed = Some(run);
+    }
+    let (linear, indexed, streamed) = (
+        linear.expect("reps >= 1"),
+        indexed.expect("reps >= 1"),
+        streamed.expect("reps >= 1"),
+    );
+
+    // Three-way differential: the descent must route every batch to the
+    // linear scan's worker, and the streamed arrivals must reproduce
+    // the materialised run bit for bit.
+    let (dl, di, ds) = (
+        golden::digest(&linear),
+        golden::digest(&indexed),
+        golden::digest(&streamed),
+    );
+    assert_eq!(dl, di, "{policy} @ {workers}: indexed diverged from linear");
+    assert_eq!(
+        di, ds,
+        "{policy} @ {workers}: streamed diverged from materialised"
+    );
+
+    let summarize = |r: &SimulationResult| (r.stats.dispatch_batches, r.stats.dispatch_scan_visits);
+    let (batches, linear_visits) = summarize(&linear);
+    let (indexed_batches, indexed_visits) = summarize(&indexed);
+    assert_eq!(batches, indexed_batches, "dispatch counts diverged");
+
+    CellRow {
+        policy,
+        workers,
+        requests,
+        batches,
+        linear_secs,
+        indexed_secs,
+        streamed_secs,
+        linear_visits,
+        indexed_visits,
+        index_updates: indexed.stats.index_updates,
+    }
+}
+
+// ---- soak ----------------------------------------------------------
+
+struct SoakReport {
+    workers: usize,
+    mean_rps: f64,
+    sim_days: f64,
+    requests_target: u64,
+    requests_recorded: usize,
+    censored: u64,
+    batches: u64,
+    wall_secs: f64,
+    events_pushed: u64,
+    events_popped: u64,
+    strict_p99_ms: f64,
+    be_p99_ms: f64,
+    rss_peak_mb: f64,
+    rss_quarter_mb: f64,
+    rss_end_mb: f64,
+    rss_samples: Vec<(f64, f64)>,
+    preflight_requests: usize,
+}
+
+impl SoakReport {
+    /// Requests completed per wall second — the per-request pipeline
+    /// rate (each request also implies ~2.5 queue-event traversals).
+    fn mreq_per_sec(&self) -> f64 {
+        (self.requests_recorded as u64 + self.censored) as f64 / self.wall_secs.max(1e-9) / 1e6
+    }
+
+    /// Total engine events per wall second: queue pushes + pops plus
+    /// one per recorded request (arrivals dispatch inline under
+    /// batch_arrivals and never touch the queue).
+    fn mevents_per_sec(&self) -> f64 {
+        (self.events_pushed + self.events_popped + self.requests_recorded as u64 + self.censored)
+            as f64
+            / self.wall_secs.max(1e-9)
+            / 1e6
+    }
+
+    fn rss_growth_mb(&self) -> f64 {
+        self.rss_end_mb - self.rss_quarter_mb
+    }
+}
+
+/// VmRSS of this process in MB (Linux; `None` elsewhere — RSS
+/// assertions are skipped rather than faked).
+fn rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmRSS:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+/// The soak workload: per-worker load as in the sweep, but diurnal on
+/// a *real* 24 h period so a billion-request run spans multiple days
+/// of simulated time.
+fn soak_trace(seed_setup: &PaperSetup, workers: usize, sim_secs: f64) -> TraceConfig {
+    let mut trace = PaperSetup {
+        duration_secs: sim_secs,
+        seed: seed_setup.seed,
+    }
+    .wiki_trace(ModelId::Albert);
+    trace.shape = TraceShape::WikiDiurnal {
+        mean_rps: LANGUAGE_RPS * workers as f64 / 8.0,
+        peak_to_mean: 316.0 / 303.0,
+        period: SimDuration::from_secs(86_400.0),
+    };
+    trace
+}
+
+fn run_soak(setup: &PaperSetup, requests_target: u64) -> SoakReport {
+    let workers = 256usize;
+    let mean_rps = LANGUAGE_RPS * workers as f64 / 8.0;
+    let sim_secs = requests_target as f64 / mean_rps;
+
+    let mut config = setup.cluster();
+    config.workers = workers;
+    config.aggregate_metrics = true;
+
+    // Digest preflight: a truncated slice of the same configuration
+    // (full metrics, materialised vs streamed vs linear) must agree bit
+    // for bit before we trust the long streamed run.
+    let preflight_secs = (2_000_000.0 / mean_rps).min(sim_secs);
+    let preflight_trace = soak_trace(setup, workers, preflight_secs);
+    let mut full_config = config.clone();
+    full_config.aggregate_metrics = false;
+    let mut linear_config = full_config.clone();
+    linear_config.reference_dispatch = true;
+    let factory = RngFactory::new(config.seed);
+    let materialised = preflight_trace.generate(&factory);
+    let preflight_requests = materialised.requests().len();
+    let scheme = ProteanBuilder::paper();
+    let a = run_simulation_on(&linear_config, &scheme, materialised.clone());
+    let b = run_simulation_on(&full_config, &scheme, materialised);
+    let c = run_simulation_streaming(&full_config, &scheme, &preflight_trace);
+    assert_eq!(
+        golden::digest(&a),
+        golden::digest(&b),
+        "soak preflight: indexed diverged from linear"
+    );
+    assert_eq!(
+        golden::digest(&b),
+        golden::digest(&c),
+        "soak preflight: streamed diverged from materialised"
+    );
+    println!(
+        "  preflight clean: {preflight_requests} requests, \
+         linear == indexed == streamed"
+    );
+
+    // RSS sampler: a background thread reads VmRSS every 250 ms for
+    // the duration of the streamed run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let samples: Arc<Mutex<Vec<(f64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        let samples = Arc::clone(&samples);
+        let t0 = Instant::now();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(mb) = rss_mb() {
+                    samples
+                        .lock()
+                        .unwrap()
+                        .push((t0.elapsed().as_secs_f64(), mb));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+        })
+    };
+
+    let trace = soak_trace(setup, workers, sim_secs);
+    let t0 = Instant::now();
+    let result = run_simulation_streaming(&config, &scheme, &trace);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().expect("rss sampler");
+
+    let rss_samples = Arc::try_unwrap(samples)
+        .expect("sampler joined")
+        .into_inner()
+        .unwrap();
+    let (rss_peak_mb, rss_quarter_mb, rss_end_mb) = if rss_samples.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let peak = rss_samples.iter().map(|s| s.1).fold(0.0, f64::max);
+        // Growth is measured from the quarter mark: by then pools,
+        // index and histograms are at steady state, so any further
+        // climb would be an O(requests) leak.
+        let quarter = rss_samples[rss_samples.len() / 4].1;
+        let end = rss_samples.last().unwrap().1;
+        (peak, quarter, end)
+    };
+
+    SoakReport {
+        workers,
+        mean_rps,
+        sim_days: sim_secs / 86_400.0,
+        requests_target,
+        requests_recorded: result.metrics.count(Class::All),
+        censored: result.censored,
+        batches: result.stats.dispatch_batches,
+        wall_secs,
+        events_pushed: result.stats.events_pushed,
+        events_popped: result.stats.events_popped,
+        strict_p99_ms: result
+            .metrics
+            .latency_percentile_ms(Class::Strict, 0.99)
+            .unwrap_or(0.0),
+        be_p99_ms: result
+            .metrics
+            .latency_percentile_ms(Class::BestEffort, 0.99)
+            .unwrap_or(0.0),
+        rss_peak_mb,
+        rss_quarter_mb,
+        rss_end_mb,
+        rss_samples,
+        preflight_requests,
+    }
+}
+
+// ---- output --------------------------------------------------------
+
+fn pr6_json(setup: &PaperSetup, rows: &[CellRow], soak: Option<&SoakReport>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"descent_dispatch_and_streaming_soak\",\n");
+    out.push_str("  \"baseline\": \"reference_dispatch (retained O(W) scans)\",\n");
+    out.push_str(&format!(
+        "  \"duration_secs\": {:.1},\n  \"seed\": {},\n",
+        setup.duration_secs, setup.seed
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"workers\": {}, \"requests\": {}, \"batches\": {}, \
+             \"linear_secs\": {:.6}, \"indexed_secs\": {:.6}, \"streamed_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"linear_visits_per_batch\": {:.3}, \
+             \"indexed_visits_per_batch\": {:.3}, \"index_updates\": {}}}{}\n",
+            r.policy,
+            r.workers,
+            r.requests,
+            r.batches,
+            r.linear_secs,
+            r.indexed_secs,
+            r.streamed_secs,
+            r.speedup(),
+            r.linear_visits_per_batch(),
+            r.indexed_visits_per_batch(),
+            r.index_updates,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    match soak {
+        None => out.push_str("  \"soak\": null\n"),
+        Some(s) => {
+            out.push_str("  \"soak\": {\n");
+            out.push_str(&format!(
+                "    \"workers\": {}, \"mean_rps\": {:.1}, \"sim_days\": {:.3},\n\
+                 \x20   \"requests_target\": {}, \"requests_recorded\": {}, \"censored\": {},\n\
+                 \x20   \"batches\": {}, \"wall_secs\": {:.1},\n\
+                 \x20   \"million_requests_per_sec\": {:.3}, \"million_events_per_sec\": {:.3},\n\
+                 \x20   \"strict_p99_ms\": {:.3}, \"be_p99_ms\": {:.3},\n\
+                 \x20   \"preflight_requests\": {},\n\
+                 \x20   \"rss_peak_mb\": {:.1}, \"rss_quarter_mb\": {:.1}, \
+                 \"rss_end_mb\": {:.1}, \"rss_growth_mb\": {:.1},\n",
+                s.workers,
+                s.mean_rps,
+                s.sim_days,
+                s.requests_target,
+                s.requests_recorded,
+                s.censored,
+                s.batches,
+                s.wall_secs,
+                s.mreq_per_sec(),
+                s.mevents_per_sec(),
+                s.strict_p99_ms,
+                s.be_p99_ms,
+                s.preflight_requests,
+                s.rss_peak_mb,
+                s.rss_quarter_mb,
+                s.rss_end_mb,
+                s.rss_growth_mb(),
+            ));
+            // Downsample the RSS series to ≤ 64 points for the record.
+            let step = (s.rss_samples.len() / 64).max(1);
+            let series: Vec<String> = s
+                .rss_samples
+                .iter()
+                .step_by(step)
+                .map(|(t, mb)| format!("[{t:.1}, {mb:.1}]"))
+                .collect();
+            out.push_str(&format!("    \"rss_series_mb\": [{}]\n", series.join(", ")));
+            out.push_str("  }\n");
+        }
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let setup = PaperSetup {
+        duration_secs: args.next().and_then(|a| a.parse().ok()).unwrap_or(30.0),
+        seed: args.next().and_then(|a| a.parse().ok()).unwrap_or(42),
+    };
+    let fleets_arg = args
+        .next()
+        .unwrap_or_else(|| "8,32,128,512,2048,8192".to_string());
+    let fleets: Vec<usize> = if fleets_arg == "none" {
+        Vec::new()
+    } else {
+        fleets_arg
+            .split(',')
+            .filter_map(|w| w.trim().parse().ok())
+            .filter(|&w| w > 0)
+            .collect()
+    };
+    let soak_requests: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000_000);
+    banner(
+        "bench_pr6",
+        &format!(
+            "{} s per sweep cell, fleets {:?}, soak target {} requests",
+            setup.duration_secs, fleets, soak_requests
+        ),
+    );
+
+    let schemes: [(&dyn SchemeBuilder, &'static str); 3] = [
+        (&ProteanBuilder::paper(), "load_balance"),
+        (&Baseline::InflessLlama, "consolidate"),
+        (&TightConsolidate, "consolidate_tight"),
+    ];
+    let mut rows = Vec::new();
+    for &workers in &fleets {
+        for (scheme, policy) in schemes {
+            rows.push(run_cell(&setup, scheme, policy, workers));
+            let r = rows.last().unwrap();
+            println!(
+                "  {} @ {:>4} workers: {:.2}s linear / {:.2}s indexed / {:.2}s streamed \
+                 ({:.2}x), {:.1} -> {:.2} visits/batch",
+                r.policy,
+                r.workers,
+                r.linear_secs,
+                r.indexed_secs,
+                r.streamed_secs,
+                r.speedup(),
+                r.linear_visits_per_batch(),
+                r.indexed_visits_per_batch(),
+            );
+        }
+    }
+
+    if !rows.is_empty() {
+        let printable: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.to_string(),
+                    r.workers.to_string(),
+                    r.requests.to_string(),
+                    format!("{:.2}", r.linear_secs),
+                    format!("{:.2}", r.indexed_secs),
+                    format!("{:.2}", r.streamed_secs),
+                    format!("{:.2}x", r.speedup()),
+                    format!("{:.1}", r.linear_visits_per_batch()),
+                    format!("{:.2}", r.indexed_visits_per_batch()),
+                ]
+            })
+            .collect();
+        table(
+            &[
+                "policy",
+                "workers",
+                "requests",
+                "linear s",
+                "indexed s",
+                "streamed s",
+                "speedup",
+                "lin v/b",
+                "idx v/b",
+            ],
+            &printable,
+        );
+    }
+
+    for r in &rows {
+        // Deterministic acceptance first: the scan counters don't move
+        // with host load. Every policy's descent answers in ≤2 visits
+        // per batch at any fleet size.
+        assert!(
+            r.indexed_visits_per_batch() <= 2.0,
+            "{} @ {}: indexed visits {:.2}/batch not flat",
+            r.policy,
+            r.workers,
+            r.indexed_visits_per_batch()
+        );
+        if r.policy == "load_balance" {
+            assert!(
+                r.linear_visits_per_batch() >= r.workers as f64,
+                "{} @ {}: linear baseline visited {:.1}/batch, expected >= W",
+                r.policy,
+                r.workers,
+                r.linear_visits_per_batch()
+            );
+        }
+        // Wall-clock floors at fleet scale, conservative against host
+        // noise (the measured curves live in results/bench_pr6.json and
+        // PERF.md). Sub-second CI smoke cells (3 s duration) are too
+        // noisy for timing floors, so these gate on a real cell
+        // duration — the visit-count asserts above are the
+        // deterministic guard that runs everywhere. The deep-cap
+        // consolidate row carries *no* speedup floor: its linear scan
+        // only walks the saturated prefix, so the descent's win there
+        // is visits, not wall-clock.
+        if setup.duration_secs < 10.0 {
+            continue;
+        }
+        if r.workers >= 512 && r.policy == "load_balance" {
+            assert!(
+                r.speedup() >= 1.2,
+                "{} @ {}: speedup {:.2}x — index no longer wins at fleet scale",
+                r.policy,
+                r.workers,
+                r.speedup()
+            );
+        }
+        if r.workers >= 2048 && r.policy == "consolidate_tight" {
+            assert!(
+                r.speedup() >= 2.0,
+                "{} @ {}: speedup {:.2}x below the 2x descent floor",
+                r.policy,
+                r.workers,
+                r.speedup()
+            );
+        }
+    }
+
+    let soak = if soak_requests > 0 {
+        println!("\nsoak: streaming {} requests...", soak_requests);
+        let s = run_soak(&setup, soak_requests);
+        println!(
+            "  {} recorded + {} censored over {:.2} simulated days in {:.1}s wall\n  \
+             {:.2}M req/s, {:.2}M events/s, RSS peak {:.0} MB (growth {:+.1} MB)",
+            s.requests_recorded,
+            s.censored,
+            s.sim_days,
+            s.wall_secs,
+            s.mreq_per_sec(),
+            s.mevents_per_sec(),
+            s.rss_peak_mb,
+            s.rss_growth_mb(),
+        );
+        // Flat-RSS contract: past the quarter mark (pools, index and
+        // histograms at steady state) the footprint must not climb —
+        // any O(requests) retention would add gigabytes at 1e9
+        // requests, so a 256 MB allowance is noise, not leak.
+        if s.rss_peak_mb > 0.0 {
+            assert!(
+                s.rss_growth_mb() <= 256.0,
+                "soak RSS grew {:.1} MB — the streaming path is retaining per-request state",
+                s.rss_growth_mb()
+            );
+            if rows.is_empty() {
+                // Without sweep cells in-process the allocator holds no
+                // prior high-water mark, so an absolute ceiling is
+                // meaningful too (CI smoke runs use this form).
+                assert!(
+                    s.rss_peak_mb <= 1024.0,
+                    "soak peak RSS {:.1} MB exceeds the 1 GB ceiling",
+                    s.rss_peak_mb
+                );
+            }
+        } else {
+            println!("  (no /proc/self/status — RSS assertions skipped)");
+        }
+        Some(s)
+    } else {
+        None
+    };
+
+    let path = std::path::Path::new("results/bench_pr6.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create results/");
+    }
+    std::fs::write(path, pr6_json(&setup, &rows, soak.as_ref()))
+        .expect("write results/bench_pr6.json");
+    println!("\nwrote {}", path.display());
+}

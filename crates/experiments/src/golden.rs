@@ -16,10 +16,13 @@
 
 use protean::ProteanBuilder;
 use protean_baselines::Baseline;
-use protean_cluster::{run_simulation, SchemeBuilder, SimulationResult};
+use protean_cluster::{
+    run_simulation, run_simulation_streaming, ClusterConfig, SchemeBuilder, SimulationResult,
+};
 use protean_metrics::record::Class;
 use protean_models::ModelId;
 use protean_spot::{ProcurementPolicy, SpotAvailability};
+use protean_trace::TraceConfig;
 
 use crate::setup::PaperSetup;
 
@@ -66,6 +69,20 @@ fn all_schemes() -> Vec<Box<dyn SchemeBuilder>> {
 /// spot-market variant (hybrid procurement under low availability) that
 /// exercises the eviction/replacement and censoring paths.
 pub fn golden_digests() -> Vec<String> {
+    golden_digests_with(run_simulation)
+}
+
+/// [`golden_digests`] with every run driven through the streaming
+/// arrival path ([`run_simulation_streaming`]). The streaming engine's
+/// contract is digest equality with the materialised one, so this must
+/// return exactly the same lines.
+pub fn golden_digests_streaming() -> Vec<String> {
+    golden_digests_with(run_simulation_streaming)
+}
+
+fn golden_digests_with(
+    run: fn(&ClusterConfig, &dyn SchemeBuilder, &TraceConfig) -> SimulationResult,
+) -> Vec<String> {
     let mut out = Vec::new();
     for &seed in &[42u64, 7, 1234] {
         let setup = PaperSetup {
@@ -75,7 +92,7 @@ pub fn golden_digests() -> Vec<String> {
         let config = setup.cluster();
         let trace = setup.wiki_trace(ModelId::ResNet50);
         for scheme in all_schemes() {
-            let result = run_simulation(&config, scheme.as_ref(), &trace);
+            let result = run(&config, scheme.as_ref(), &trace);
             out.push(format!("seed={seed} {}", digest(&result)));
         }
     }
@@ -92,7 +109,7 @@ pub fn golden_digests() -> Vec<String> {
         config.revocation_check = protean_sim::SimDuration::from_secs(5.0);
         config.vm_startup = protean_sim::SimDuration::from_secs(5.0);
         let trace = setup.wiki_trace(ModelId::ResNet50);
-        let result = run_simulation(&config, &ProteanBuilder::paper(), &trace);
+        let result = run(&config, &ProteanBuilder::paper(), &trace);
         out.push(format!("spot seed={seed} {}", digest(&result)));
     }
     out

@@ -64,9 +64,150 @@ impl RequestRecord {
 
 /// A growing collection of request records with the aggregations used by
 /// every experiment.
+///
+/// Two storage modes:
+///
+/// * **Full** (the default): every [`RequestRecord`] is retained, all
+///   aggregations are exact. Memory is O(requests) — at 48 bytes per
+///   record a billion-request soak would need ~45 GB, so fleet-scale
+///   endurance runs cannot use it.
+/// * **Aggregate** ([`MetricsSet::aggregate`]): per-class log-spaced
+///   latency histograms plus counts/means — O(1) memory regardless of
+///   request count. Quantiles are approximate to the bucket ratio
+///   (128 buckets per decade ⇒ ≤ ~0.9% relative error); per-record
+///   views ([`MetricsSet::records`], [`MetricsSet::latencies_ms`],
+///   [`MetricsSet::tail_breakdown`], [`MetricsSet::slo_compliance`],
+///   [`MetricsSet::per_model_summaries`]) see an empty record store
+///   and degrade accordingly. Used by the streaming soak benchmarks,
+///   which prove flat RSS over ≥10⁹ requests.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSet {
     records: Vec<RequestRecord>,
+    aggregate: Option<AggregateStore>,
+}
+
+/// Histogram geometry for aggregate mode: nine decades of latency,
+/// 0.001 ms .. 1e6 ms, 128 log-spaced buckets per decade.
+const BUCKETS_PER_DECADE: f64 = 128.0;
+const DECADES: usize = 9;
+const BUCKETS: usize = DECADES * 128;
+const MIN_MS: f64 = 1e-3;
+
+/// Fixed-size per-class latency statistics for aggregate mode.
+#[derive(Debug, Clone)]
+struct AggregateStore {
+    strict: LatencyHistogram,
+    be: LatencyHistogram,
+}
+
+impl AggregateStore {
+    fn new() -> Self {
+        AggregateStore {
+            strict: LatencyHistogram::new(),
+            be: LatencyHistogram::new(),
+        }
+    }
+
+    fn push(&mut self, record: &RequestRecord) {
+        let ms = record.latency().as_millis_f64();
+        if record.strict {
+            self.strict.push(ms);
+        } else {
+            self.be.push(ms);
+        }
+    }
+
+    fn count(&self, class: Class) -> u64 {
+        match class {
+            Class::Strict => self.strict.count,
+            Class::BestEffort => self.be.count,
+            Class::All => self.strict.count + self.be.count,
+        }
+    }
+
+    fn mean_ms(&self, class: Class) -> Option<f64> {
+        let (sum, count) = match class {
+            Class::Strict => (self.strict.sum_ms, self.strict.count),
+            Class::BestEffort => (self.be.sum_ms, self.be.count),
+            Class::All => (
+                self.strict.sum_ms + self.be.sum_ms,
+                self.strict.count + self.be.count,
+            ),
+        };
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Nearest-rank quantile over the bucket CDF, mirroring
+    /// `SortedLatencies::percentile`'s rank convention. The returned
+    /// latency is the geometric midpoint of the rank's bucket, clamped
+    /// to the exact observed [min, max].
+    fn percentile_ms(&self, class: Class, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let (a, b) = match class {
+            Class::Strict => (&self.strict, None),
+            Class::BestEffort => (&self.be, None),
+            Class::All => (&self.strict, Some(&self.be)),
+        };
+        let at = |i: usize| a.buckets[i] + b.map_or(0, |h: &LatencyHistogram| h.buckets[i]);
+        let count = a.count + b.map_or(0, |h| h.count);
+        if count == 0 {
+            return None;
+        }
+        let rank = ((count as f64 * q).ceil() as u64).max(1);
+        let min = a.min_ms.min(b.map_or(f64::INFINITY, |h| h.min_ms));
+        let max = a.max_ms.max(b.map_or(f64::NEG_INFINITY, |h| h.max_ms));
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            cum += at(i);
+            if cum >= rank {
+                return Some(LatencyHistogram::bucket_mid_ms(i).clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+}
+
+/// A log-spaced latency histogram with exact count/sum/min/max.
+#[derive(Debug, Clone)]
+struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ms: 0.0,
+            min_ms: f64::INFINITY,
+            max_ms: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(ms: f64) -> usize {
+        if ms <= MIN_MS {
+            return 0;
+        }
+        (((ms / MIN_MS).log10() * BUCKETS_PER_DECADE) as usize).min(BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of bucket `i` — the representative latency
+    /// reported for quantiles landing in it.
+    fn bucket_mid_ms(i: usize) -> f64 {
+        MIN_MS * 10f64.powf((i as f64 + 0.5) / BUCKETS_PER_DECADE)
+    }
+
+    fn push(&mut self, ms: f64) {
+        self.buckets[Self::bucket_of(ms)] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+        self.min_ms = self.min_ms.min(ms);
+        self.max_ms = self.max_ms.max(ms);
+    }
 }
 
 /// Which request class an aggregation ranges over.
@@ -81,31 +222,65 @@ pub enum Class {
 }
 
 impl MetricsSet {
-    /// Creates an empty set.
+    /// Creates an empty set in full (exact, per-record) mode.
     pub fn new() -> Self {
         MetricsSet::default()
     }
 
+    /// Creates an empty set in aggregate (O(1)-memory histogram) mode.
+    /// See the type docs for what degrades.
+    pub fn aggregate() -> Self {
+        MetricsSet {
+            records: Vec::new(),
+            aggregate: Some(AggregateStore::new()),
+        }
+    }
+
+    /// `true` when this set keeps histograms instead of records.
+    pub fn is_aggregate(&self) -> bool {
+        self.aggregate.is_some()
+    }
+
     /// Records a completed request.
     pub fn push(&mut self, record: RequestRecord) {
-        self.records.push(record);
+        if let Some(agg) = &mut self.aggregate {
+            agg.push(&record);
+        } else {
+            self.records.push(record);
+        }
     }
 
     /// Pre-sizes the record store for `additional` more requests.
     /// Million-request fleet benchmarks otherwise spend measurable time
     /// re-growing (and re-copying) a multi-hundred-megabyte vector.
+    /// No-op in aggregate mode, whose footprint is fixed.
     pub fn reserve(&mut self, additional: usize) {
-        self.records.reserve(additional);
+        if self.aggregate.is_none() {
+            self.records.reserve(additional);
+        }
     }
 
-    /// All records in completion order.
+    /// All records in completion order (empty in aggregate mode).
     pub fn records(&self) -> &[RequestRecord] {
         &self.records
     }
 
-    /// Number of records in `class`.
+    /// Number of records in `class` (exact in both modes).
     pub fn count(&self, class: Class) -> usize {
+        if let Some(agg) = &self.aggregate {
+            return agg.count(class) as usize;
+        }
         self.iter_class(class).count()
+    }
+
+    /// Mean latency (ms) for `class`; `None` if empty. Exact in both
+    /// modes (aggregate mode keeps running sums).
+    pub fn latency_mean_ms(&self, class: Class) -> Option<f64> {
+        if let Some(agg) = &self.aggregate {
+            return agg.mean_ms(class);
+        }
+        let lats = self.latencies_ms(class);
+        (!lats.is_empty()).then(|| lats.iter().sum::<f64>() / lats.len() as f64)
     }
 
     fn iter_class(&self, class: Class) -> impl Iterator<Item = &RequestRecord> {
@@ -151,10 +326,15 @@ impl MetricsSet {
     }
 
     /// The `q`-quantile latency (ms) for `class`; `None` if empty.
+    /// Exact in full mode; bucket-resolution (≤ ~0.9% relative) in
+    /// aggregate mode.
     ///
-    /// Sorts on every call; for repeated queries use
+    /// Sorts on every call in full mode; for repeated queries use
     /// [`MetricsSet::sorted_latencies`].
     pub fn latency_percentile_ms(&self, class: Class, q: f64) -> Option<f64> {
+        if let Some(agg) = &self.aggregate {
+            return agg.percentile_ms(class, q);
+        }
         self.sorted_latencies(class).percentile(q)
     }
 
@@ -217,8 +397,29 @@ impl MetricsSet {
     }
 
     /// A compact summary for tables. Each class's latency vector is
-    /// sorted exactly once.
+    /// sorted exactly once (full mode); aggregate mode reads the
+    /// histograms, and its `slo_compliance` reports 1.0 (per-request
+    /// SLO checks need full records).
     pub fn summary(&self, slo: &dyn Fn(ModelId) -> SimDuration) -> Summary {
+        if self.aggregate.is_some() {
+            return Summary {
+                total: self.count(Class::All),
+                strict: self.count(Class::Strict),
+                slo_compliance: self.slo_compliance(slo),
+                strict_p50_ms: self
+                    .latency_percentile_ms(Class::Strict, 0.50)
+                    .unwrap_or(0.0),
+                strict_p99_ms: self
+                    .latency_percentile_ms(Class::Strict, 0.99)
+                    .unwrap_or(0.0),
+                be_p50_ms: self
+                    .latency_percentile_ms(Class::BestEffort, 0.50)
+                    .unwrap_or(0.0),
+                be_p99_ms: self
+                    .latency_percentile_ms(Class::BestEffort, 0.99)
+                    .unwrap_or(0.0),
+            };
+        }
         let strict = self.sorted_latencies(Class::Strict);
         let be = self.sorted_latencies(Class::BestEffort);
         Summary {
@@ -404,6 +605,62 @@ mod tests {
         let (mobile, s) = per_model[1];
         assert_eq!(mobile, ModelId::MobileNet);
         assert_eq!(s.be_p99_ms, 500.0);
+    }
+
+    #[test]
+    fn aggregate_counts_are_exact_and_memory_is_fixed() {
+        let mut m = MetricsSet::aggregate();
+        assert!(m.is_aggregate());
+        for i in 1..=1000 {
+            m.push(rec(i % 2 == 0, i as f64));
+        }
+        assert_eq!(m.count(Class::All), 1000);
+        assert_eq!(m.count(Class::Strict), 500);
+        assert_eq!(m.count(Class::BestEffort), 500);
+        // Per-record views see an empty store.
+        assert!(m.records().is_empty());
+        assert!(m.latencies_ms(Class::All).is_empty());
+    }
+
+    #[test]
+    fn aggregate_percentiles_track_exact_within_bucket_resolution() {
+        let mut full = MetricsSet::new();
+        let mut agg = MetricsSet::aggregate();
+        // A latency spread covering several decades.
+        for i in 1..=5000u64 {
+            let ms = 0.5 * 1.002f64.powi(i as i32 % 4000);
+            full.push(rec(i % 3 == 0, ms));
+            agg.push(rec(i % 3 == 0, ms));
+        }
+        for class in [Class::Strict, Class::BestEffort, Class::All] {
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                let exact = full.latency_percentile_ms(class, q).unwrap();
+                let approx = agg.latency_percentile_ms(class, q).unwrap();
+                let rel = (approx - exact).abs() / exact;
+                assert!(
+                    rel < 0.01,
+                    "class {class:?} q {q}: approx {approx} vs exact {exact} (rel {rel})"
+                );
+            }
+        }
+        // Means are exact in both modes.
+        let em = full.latency_mean_ms(Class::All).unwrap();
+        let am = agg.latency_mean_ms(Class::All).unwrap();
+        assert!((em - am).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_summary_uses_histogram_quantiles() {
+        let mut m = MetricsSet::aggregate();
+        for i in 1..=100 {
+            m.push(rec(true, i as f64));
+            m.push(rec(false, 10.0 * i as f64));
+        }
+        let s = m.summary(&|_| SimDuration::from_millis(1000.0));
+        assert_eq!(s.total, 200);
+        assert_eq!(s.strict, 100);
+        assert!((s.strict_p50_ms - 50.0).abs() / 50.0 < 0.01);
+        assert!((s.be_p99_ms - 990.0).abs() / 990.0 < 0.01);
     }
 
     #[test]

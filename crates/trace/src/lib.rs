@@ -218,6 +218,182 @@ impl TraceConfig {
             duration: self.duration,
         }
     }
+
+    /// A lazily-generated view of the same trace: [`TraceStream`]
+    /// yields exactly the `Request` sequence [`TraceConfig::generate`]
+    /// materializes — bit-identical ids, arrivals, models and classes —
+    /// while holding O(duration / rotation_period) state instead of
+    /// O(requests). See the [`TraceStream`] docs for why the sequences
+    /// cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TraceConfig::generate`].
+    pub fn stream(&self, factory: &RngFactory) -> TraceStream {
+        assert!(
+            (0.0..=1.0).contains(&self.strict_fraction),
+            "strict fraction {} out of range",
+            self.strict_fraction
+        );
+        assert!(
+            self.strict_fraction >= 1.0 || !self.be_pool.is_empty(),
+            "BE pool may not be empty when BE requests can occur"
+        );
+        let arrivals_rng = factory.stream("trace.arrivals");
+        let class_rng = factory.stream("trace.class");
+        let mut rotation_rng = factory.stream("trace.rotation");
+        let mut shape_rng = factory.stream("trace.shape");
+
+        let batch_size = if self.batch_arrivals {
+            catalog().profile(self.strict_model).batch_size.max(1)
+        } else {
+            1
+        };
+        let rate = RateProfile::new(&self.shape, self.duration, &mut shape_rng);
+        let rotation_period_us = self.be_rotation_period.as_micros().max(1);
+        let rotations = (self.duration.as_micros() / rotation_period_us) + 1;
+        let be_schedule: Vec<ModelId> = (0..rotations)
+            .map(|_| {
+                if self.be_pool.is_empty() {
+                    self.strict_model
+                } else {
+                    *rotation_rng.choose(&self.be_pool)
+                }
+            })
+            .collect();
+        let per_arrival = f64::from(batch_size);
+        let lambda_max = rate.max_rate / per_arrival;
+        TraceStream {
+            arrivals_rng,
+            class_rng,
+            rate,
+            be_schedule,
+            strict_model: self.strict_model,
+            strict_fraction: self.strict_fraction,
+            rotation_period_us,
+            batch_size,
+            per_arrival,
+            lambda_max,
+            horizon_secs: self.duration.as_secs_f64(),
+            duration: self.duration,
+            t: 0.0,
+            next_id: 0,
+            pending: None,
+            emitted_in_batch: 0,
+        }
+    }
+}
+
+/// A generator-backed request stream: the streaming twin of
+/// [`TraceConfig::generate`].
+///
+/// The equivalence argument rests on the RNG architecture: generation
+/// draws from four *independent* labeled streams ("trace.arrivals",
+/// "trace.class", "trace.rotation", "trace.shape"), so interleaving
+/// class draws between arrival draws — which the lazy path does and
+/// the materialized path does not — cannot change any stream's
+/// per-draw sequence. The shape profile and the BE rotation schedule
+/// are still built eagerly (they are O(duration / segment) and
+/// O(duration / rotation_period), independent of the request count);
+/// only the Poisson thinning loop, which dominates memory at fleet
+/// scale, runs lazily. The `trace_stream_*` proptests pin
+/// element-for-element equality with `generate`, and the engine-level
+/// golden tests pin digest equality of full simulations.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    arrivals_rng: SimRng,
+    class_rng: SimRng,
+    rate: RateProfile,
+    be_schedule: Vec<ModelId>,
+    strict_model: ModelId,
+    strict_fraction: f64,
+    rotation_period_us: u64,
+    batch_size: u32,
+    per_arrival: f64,
+    lambda_max: f64,
+    horizon_secs: f64,
+    duration: SimDuration,
+    /// Thinning-loop clock, in seconds.
+    t: f64,
+    next_id: u64,
+    /// The accepted arrival currently being expanded into a batch.
+    pending: Option<(SimTime, ModelId, bool)>,
+    emitted_in_batch: u32,
+}
+
+impl TraceStream {
+    /// The configured trace length.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Every model that can appear in this stream: the strict model
+    /// (when strict requests can occur) plus every model the BE
+    /// rotation schedule actually rolled (when BE requests can occur),
+    /// deduplicated. Lets callers that need the distinct-model set —
+    /// e.g. the engine's prewarm pass — bound their scan without
+    /// walking the whole stream.
+    pub fn model_universe(&self) -> Vec<ModelId> {
+        let mut out = Vec::new();
+        if self.strict_fraction > 0.0 {
+            out.push(self.strict_model);
+        }
+        if self.strict_fraction < 1.0 {
+            for &m in &self.be_schedule {
+                if !out.contains(&m) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        loop {
+            // Drain the batch the last accepted arrival carries.
+            if let Some((arrival, model, strict)) = self.pending {
+                if self.emitted_in_batch < self.batch_size {
+                    self.emitted_in_batch += 1;
+                    let id = RequestId(self.next_id);
+                    self.next_id += 1;
+                    return Some(Request {
+                        id,
+                        arrival,
+                        model,
+                        strict,
+                    });
+                }
+                self.pending = None;
+            }
+            // Thin the homogeneous λ_max process down to λ(t) — the
+            // identical draw sequence `poisson_arrivals` consumes.
+            loop {
+                self.t += self.arrivals_rng.exponential(self.lambda_max);
+                if self.t >= self.horizon_secs {
+                    return None;
+                }
+                if self.arrivals_rng.uniform() * self.lambda_max
+                    < self.rate.rate_at(self.t) / self.per_arrival
+                {
+                    break;
+                }
+            }
+            let arrival = SimTime::from_secs(self.t);
+            let strict = self.class_rng.chance(self.strict_fraction);
+            let model = if strict {
+                self.strict_model
+            } else {
+                let slot = (arrival.as_micros() / self.rotation_period_us) as usize;
+                self.be_schedule[slot.min(self.be_schedule.len() - 1)]
+            };
+            self.pending = Some((arrival, model, strict));
+            self.emitted_in_batch = 0;
+        }
+    }
 }
 
 /// A generated trace: requests sorted by arrival time.
@@ -304,11 +480,13 @@ impl TraceStats {
 
 /// A piecewise view of λ(t) with a global maximum, suitable for Poisson
 /// thinning.
+#[derive(Debug, Clone)]
 struct RateProfile {
     kind: RateKind,
     max_rate: f64,
 }
 
+#[derive(Debug, Clone)]
 enum RateKind {
     Constant(f64),
     Sinusoid {
@@ -606,5 +784,70 @@ mod tests {
                 prop_assert_eq!(r.id, RequestId(i as u64));
             }
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The streamed request sequence equals `generate`'s output
+        /// element for element — every id, arrival, model and class —
+        /// across shapes, seeds, class mixes and both arrival modes.
+        #[test]
+        fn prop_trace_stream_matches_generate_element_for_element(
+            seed in 0u64..1000,
+            shape_kind in 0usize..3,
+            strict_pct in 0usize..5,
+            batch_arrivals in proptest::bool::ANY,
+        ) {
+            let shape = match shape_kind {
+                0 => TraceShape::constant(300.0),
+                1 => TraceShape::wiki(400.0),
+                _ => TraceShape::twitter(600.0),
+            };
+            let mut cfg = base_config(shape, 15.0);
+            cfg.strict_fraction = [0.0, 0.25, 0.5, 0.75, 1.0][strict_pct];
+            cfg.batch_arrivals = batch_arrivals;
+            let factory = RngFactory::new(seed);
+            let materialized = cfg.generate(&factory).into_requests();
+            let streamed: Vec<Request> = cfg.stream(&factory).collect();
+            prop_assert_eq!(streamed.len(), materialized.len());
+            for (i, (s, m)) in streamed.iter().zip(&materialized).enumerate() {
+                prop_assert_eq!(s, m, "request {} diverged", i);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_model_universe_covers_every_generated_model() {
+        let mut cfg = base_config(TraceShape::wiki(800.0), 60.0);
+        cfg.be_pool = vec![
+            ModelId::MobileNet,
+            ModelId::ShuffleNetV2,
+            ModelId::ResNet18,
+            ModelId::SeNet18,
+        ];
+        for seed in [1, 5, 21] {
+            let factory = RngFactory::new(seed);
+            let universe = cfg.stream(&factory).model_universe();
+            for r in cfg.generate(&factory).requests() {
+                assert!(
+                    universe.contains(&r.model),
+                    "model {:?} not in universe {universe:?}",
+                    r.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_restartable_from_a_fresh_handle() {
+        // Two streams from the same factory are independent generators
+        // over the identical sequence — the engine relies on this for
+        // its prewarm pre-pass.
+        let cfg = base_config(TraceShape::twitter(500.0), 20.0);
+        let factory = RngFactory::new(77);
+        let a: Vec<Request> = cfg.stream(&factory).collect();
+        let b: Vec<Request> = cfg.stream(&factory).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 }

@@ -48,6 +48,19 @@ BINARIES=(
   future_be_tail
 )
 
+# A binary that fails to build (or was renamed without updating this
+# list) must abort the regeneration, not silently skip its artifact.
+require_bin() {
+  if [[ ! -x "./target/release/$1" ]]; then
+    echo "FATAL: bench binary '$1' is missing from target/release/ — build failed or the binary was renamed" >&2
+    exit 1
+  fi
+}
+
+for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6; do
+  require_bin "$bin"
+done
+
 for bin in "${BINARIES[@]}"; do
   echo ">>> $bin"
   ./target/release/"$bin" "$DURATION" "$SEED" >"$OUT/$bin.txt" 2>/dev/null
@@ -62,11 +75,24 @@ echo ">>> stats_significance"
 echo ">>> harness_timing"
 ./target/release/harness_timing 20 "$SEED" >"$OUT/harness_timing.txt" 2>/dev/null
 
+# Event-scheduler cost accounting (next-completion-only vs all-jobs
+# re-projection), written to results/bench_pr3.json.
+echo ">>> bench_pr3"
+./target/release/bench_pr3 20 "$SEED" >"$OUT/bench_pr3.txt" 2>/dev/null
+
 # Fleet-scale dispatch sweep: linear-vs-indexed wall-clock and scan
 # counters per fleet size, written to results/bench_pr5.json. Uses its
 # own 150 s duration so the 512-worker cell crosses 1M requests.
 echo ">>> bench_pr5"
 ./target/release/bench_pr5 150 "$SEED" >"$OUT/bench_pr5.txt" 2>/dev/null
+
+# Descent-dispatch sweep to 8192 workers plus the billion-request
+# streaming soak, written to results/bench_pr6.json. The heavy step:
+# the soak alone streams 1e9 requests (~10 min); the sweep's 8192-cell
+# linear baselines add a few more. Defaults: 30 s cells, fleets
+# 8..8192, 1e9-request soak.
+echo ">>> bench_pr6"
+./target/release/bench_pr6 30 "$SEED" >"$OUT/bench_pr6.txt" 2>/dev/null
 
 TOTAL=$(($(date +%s) - START_EPOCH))
 echo "All outputs written to $OUT/"

@@ -58,7 +58,7 @@ proptest! {
     /// Random interleavings of the engine's mutation points — dispatch
     /// load, completions, eviction notice, final eviction, VM install,
     /// reconfig drain/complete — must leave every index query equal to
-    /// the linear reference, including first-fit cursor resumption.
+    /// the linear reference, including the first-fit root descent.
     #[test]
     fn prop_index_matches_linear_reference(
         ops in prop::collection::vec((0usize..8, 0u32..6, 1u64..40), 1..120),
@@ -184,7 +184,7 @@ fn load_balance_digests_match_linear_reference_under_faults() {
     }
 }
 
-/// Consolidate dispatch (INFless/Llama): the first-fit cursor must
+/// Consolidate dispatch (INFless/Llama): the first-fit descent must
 /// reproduce the linear front scan exactly, including across evictions
 /// that re-open saturated low-index slots.
 #[test]
@@ -229,7 +229,7 @@ proptest! {
 /// passed over, while one request below the cap still accepts — at the
 /// boundary, index and linear scan agree slot by slot.
 #[test]
-fn consolidate_cursor_honors_cap_exactly_at_the_boundary() {
+fn consolidate_descent_honors_cap_exactly_at_the_boundary() {
     let cap = 80; // e.g. cap_batches 10 × batch size 8
     let mut index = DispatchIndex::new(3);
     let mut slots = vec![
@@ -254,7 +254,8 @@ fn consolidate_cursor_honors_cap_exactly_at_the_boundary() {
     let mut visits = 0;
     assert_eq!(index.first_fit(cap, &mut visits), None);
     assert_eq!(linear_first_fit(&slots, cap), None);
-    // A single completion on worker 0 re-opens it: the cursor retreats.
+    // A single completion on worker 0 re-opens it: the next descent
+    // lands back on the lowest index.
     slots[0].outstanding = cap - 1;
     index.refresh(0, true, true, cap - 1);
     let mut visits = 0;

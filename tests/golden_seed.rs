@@ -13,7 +13,7 @@
 //! cargo run --release -p protean-experiments --bin golden_digest
 //! ```
 
-use protean_experiments::golden::golden_digests;
+use protean_experiments::golden::{golden_digests, golden_digests_streaming};
 
 /// Captured from the pre-refactor engine (all-jobs re-projection): every
 /// scheme × seeds {42, 7, 1234} on the paper's 8-worker wiki workload at
@@ -67,6 +67,31 @@ fn results_are_bit_identical_to_recorded_digests() {
     assert!(
         mismatches.is_empty(),
         "{} of {} digests drifted from the recorded engine behaviour:\n{}",
+        mismatches.len(),
+        EXPECTED.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The streaming arrival path (`run_simulation_streaming`) must
+/// reproduce the materialised engine bit for bit on every golden
+/// config — all eight schemes × three seeds plus the two spot-market
+/// runs. Comparing against the same recorded constants (not just
+/// stream-vs-materialized in-process) pins the streaming path to the
+/// PR-1-era behaviour directly.
+#[test]
+fn streaming_arrivals_reproduce_the_recorded_digests() {
+    let actual = golden_digests_streaming();
+    assert_eq!(actual.len(), EXPECTED.len());
+    let mut mismatches = Vec::new();
+    for (got, want) in actual.iter().zip(EXPECTED) {
+        if got != want {
+            mismatches.push(format!("  streamed: {got}\n  recorded: {want}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} streamed digests diverged from the materialised engine:\n{}",
         mismatches.len(),
         EXPECTED.len(),
         mismatches.join("\n")
