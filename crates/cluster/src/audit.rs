@@ -199,19 +199,48 @@ impl Auditor {
         ledger: &VmLedger,
         index: &DispatchIndex,
     ) {
-        if !self.enabled {
+        if !self.sweep_due() {
             return;
         }
-        self.opportunities += 1;
-        if !(self.opportunities - 1).is_multiple_of(self.every_n) {
-            return;
-        }
-        self.checks += 1;
         // Index coherence: the incrementally-maintained dispatch index
         // must agree with the workers' live state at every quiescent
         // point, or the O(log W) dispatcher could diverge from the
         // linear-scan reference.
-        for msg in index.verify(workers) {
+        let index_problems = index.verify(workers);
+        self.sweep(now, workers.iter(), ledger, index_problems);
+    }
+
+    /// Counts a sweep opportunity and reports whether this one is
+    /// sampled in (`every_n` thinning). Callers that assemble the fleet
+    /// view from several shards use this to skip the assembly cost on
+    /// thinned-out opportunities.
+    pub(crate) fn sweep_due(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.opportunities += 1;
+        if !(self.opportunities - 1).is_multiple_of(self.every_n) {
+            return false;
+        }
+        self.checks += 1;
+        true
+    }
+
+    /// The conservation sweep body, over any iteration of the fleet's
+    /// workers. The sharded engine chains its per-shard worker slices
+    /// here (after verifying each shard's partition of the dispatch
+    /// index via [`DispatchIndex::verify_partition`], passing the
+    /// messages as `index_problems`); the sequential engine goes through
+    /// [`Auditor::check_cluster`]. Call only after [`Auditor::sweep_due`]
+    /// returned `true`.
+    pub(crate) fn sweep<'a>(
+        &mut self,
+        now: SimTime,
+        workers: impl Iterator<Item = &'a Worker>,
+        ledger: &VmLedger,
+        index_problems: Vec<String>,
+    ) {
+        for msg in index_problems {
             self.violation(now, msg);
         }
         let mut bound_vms = 0usize;

@@ -162,6 +162,24 @@ impl DispatchIndex {
         self.routable.min_idx()
     }
 
+    /// The accepting tier's root key `(outstanding, idx)`, if any slot
+    /// is eligible. The sharded engine reduces one global least-loaded
+    /// answer from per-shard trees by taking the minimum of the shard
+    /// roots — the tuple order reproduces the global `min_by_key`
+    /// tie-break exactly because every key embeds the global worker
+    /// index.
+    pub fn least_loaded_accepting_key(&self) -> Option<(u64, usize)> {
+        let root = self.accepting.tree[1];
+        (root != ABSENT).then_some(root)
+    }
+
+    /// The routable tier's root key `(outstanding, idx)`, if any slot
+    /// is eligible.
+    pub fn least_loaded_routable_key(&self) -> Option<(u64, usize)> {
+        let root = self.routable.tree[1];
+        (root != ABSENT).then_some(root)
+    }
+
     /// `true` if any worker is routable.
     pub fn any_routable(&self) -> bool {
         self.routable_count > 0
@@ -217,17 +235,43 @@ impl DispatchIndex {
     /// — the first-fit descent reads only the accepting tree, so tree
     /// equality covers it).
     pub fn verify(&self, workers: &[Worker]) -> Vec<String> {
-        let mut out = Vec::new();
         if self.entries.len() != workers.len() {
-            out.push(format!(
+            return vec![format!(
                 "dispatch index covers {} slots but cluster has {}",
                 self.entries.len(),
                 workers.len()
-            ));
-            return out;
+            )];
         }
-        let mut live_accepting = MinTree::new(workers.len());
-        let mut live_routable = MinTree::new(workers.len());
+        self.verify_against(workers.iter())
+    }
+
+    /// [`DispatchIndex::verify`] for a *partition* of the fleet: the
+    /// index spans all `total_slots` worker slots but only the `owned`
+    /// workers may populate it — every other slot must be absent from
+    /// both tiers. This is the coherence invariant of the sharded
+    /// engine's per-shard trees (each shard's index is fleet-width so
+    /// its keys carry global worker indices, but holds entries only for
+    /// the workers the shard owns); a stray entry in a foreign slot
+    /// shows up as a tree or tier-count mismatch against the live
+    /// rebuild.
+    pub fn verify_partition<'a>(
+        &self,
+        total_slots: usize,
+        owned: impl Iterator<Item = &'a Worker>,
+    ) -> Vec<String> {
+        if self.entries.len() != total_slots {
+            return vec![format!(
+                "dispatch index covers {} slots but cluster has {total_slots}",
+                self.entries.len(),
+            )];
+        }
+        self.verify_against(owned)
+    }
+
+    fn verify_against<'a>(&self, workers: impl Iterator<Item = &'a Worker>) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut live_accepting = MinTree::new(self.entries.len());
+        let mut live_routable = MinTree::new(self.entries.len());
         let mut live_accepting_count = 0;
         let mut live_routable_count = 0;
         for w in workers {

@@ -129,6 +129,25 @@ pub struct ClusterConfig {
     /// Required for ≥10⁹-request endurance runs, whose record store
     /// would otherwise grow without bound.
     pub aggregate_metrics: bool,
+    /// Fleet shards for intra-run parallelism. `1` (the default) runs
+    /// the sequential engine unchanged; `> 1` partitions the workers
+    /// across [`crate::sharded`]'s shard cores, which advance their own
+    /// event heaps in parallel between synchronization epochs and merge
+    /// to a digest **bit-identical** to the sequential engine (the same
+    /// differential contract `reference_dispatch` pins for the dispatch
+    /// index). Clamped to the worker count. Ignored (sequential path)
+    /// when `reference_dispatch` is set — the linear-scan reference is
+    /// inherently a whole-fleet scan.
+    pub shards: usize,
+    /// OS threads the sharded engine may occupy, *including* the
+    /// coordinator thread (0 = auto: `available_parallelism`, which the
+    /// experiment harness further divides against grid-cell
+    /// parallelism). Shard phases with more participants than the
+    /// budget run inline on the coordinator instead — same digests, no
+    /// oversubscription. Setting `1` forces the sharded logic fully
+    /// inline (useful on single-core hosts and in deterministic tests
+    /// of the partitioned state machine).
+    pub shard_threads: usize,
 }
 
 impl ClusterConfig {
@@ -164,7 +183,19 @@ impl ClusterConfig {
             audit_every_n: 1,
             reference_dispatch: false,
             aggregate_metrics: false,
+            shards: 1,
+            shard_threads: 0,
         }
+    }
+
+    /// The shard count this configuration actually runs with: clamped
+    /// to the fleet size, and forced to 1 (sequential) under
+    /// `reference_dispatch`.
+    pub fn effective_shards(&self) -> usize {
+        if self.reference_dispatch {
+            return 1;
+        }
+        self.shards.clamp(1, self.workers.max(1))
     }
 
     /// A 2-worker configuration for fast unit tests.
@@ -390,6 +421,9 @@ pub fn run_trace_with_oracle(
     trace: Trace,
     oracle: &mut dyn SpotOracle,
 ) -> SimulationResult {
+    if config.effective_shards() > 1 {
+        return crate::sharded::run_trace_sharded(config, scheme, trace, oracle);
+    }
     let factory = RngFactory::new(config.seed);
     let catalog = Catalog::new();
     let mut engine = Engine::new(config, scheme, &catalog, &factory, oracle);
@@ -423,6 +457,9 @@ pub fn run_stream_with_oracle(
     trace_config: &TraceConfig,
     oracle: &mut dyn SpotOracle,
 ) -> SimulationResult {
+    if config.effective_shards() > 1 {
+        return crate::sharded::run_stream_sharded(config, scheme, trace_config, oracle);
+    }
     let factory = RngFactory::new(config.seed);
     let catalog = Catalog::new();
     let mut engine = Engine::new(config, scheme, &catalog, &factory, oracle);
@@ -445,7 +482,12 @@ struct Engine<'a> {
     geometry_timeline: Vec<GeometryChange>,
     next_batch_id: u64,
     journal: Journal,
-    jitter_rng: protean_sim::SimRng,
+    /// One execution-jitter stream per worker
+    /// (`indexed_stream("engine.exec_jitter", idx)`), so a worker's
+    /// jitter sequence depends only on its own placement history — the
+    /// property that lets the sharded engine draw jitter shard-locally
+    /// and still match this engine bit for bit.
+    jitter_rngs: Vec<protean_sim::SimRng>,
     dispatch_policy: DispatchPolicy,
     /// Reusable candidate buffer for `try_place` — the placement loop
     /// runs on every dispatch/boot/finish event, so it must not allocate
@@ -497,7 +539,9 @@ impl<'a> Engine<'a> {
             geometry_timeline: Vec::new(),
             next_batch_id: 0,
             journal: Journal::new(config.journal_capacity),
-            jitter_rng: factory.stream("engine.exec_jitter"),
+            jitter_rngs: (0..config.workers)
+                .map(|i| factory.indexed_stream("engine.exec_jitter", i as u64))
+                .collect(),
             dispatch_policy: scheme.dispatch_policy(),
             scratch_views: Vec::new(),
             index: DispatchIndex::new(config.workers),
@@ -966,7 +1010,7 @@ impl<'a> Engine<'a> {
                 let fill = f64::from(view.size) / f64::from(profile.batch_size);
                 let fill_factor = profile.fill_factor(fill);
                 let jitter = if self.config.exec_jitter_sigma > 0.0 {
-                    (self.jitter_rng.standard_normal() * self.config.exec_jitter_sigma)
+                    (self.jitter_rngs[idx].standard_normal() * self.config.exec_jitter_sigma)
                         .exp()
                         .clamp(0.6, 1.7)
                 } else {

@@ -65,6 +65,7 @@ pub mod engine;
 pub mod fault;
 pub mod journal;
 pub mod scheme;
+pub mod sharded;
 pub mod worker;
 
 pub use audit::AuditReport;

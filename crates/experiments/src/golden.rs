@@ -80,6 +80,19 @@ pub fn golden_digests_streaming() -> Vec<String> {
     golden_digests_with(run_simulation_streaming)
 }
 
+/// [`golden_digests`] with every run routed through the sharded engine
+/// (`shards = 4`, two shard threads). The sharded engine's contract is
+/// digest equality with the sequential one, so this must return exactly
+/// the same lines.
+pub fn golden_digests_sharded() -> Vec<String> {
+    golden_digests_with(|config, scheme, trace| {
+        let mut sharded = config.clone();
+        sharded.shards = 4;
+        sharded.shard_threads = 2;
+        run_simulation(&sharded, scheme, trace)
+    })
+}
+
 fn golden_digests_with(
     run: fn(&ClusterConfig, &dyn SchemeBuilder, &TraceConfig) -> SimulationResult,
 ) -> Vec<String> {

@@ -108,6 +108,11 @@ impl AggregateStore {
         }
     }
 
+    fn merge_from(&mut self, other: &AggregateStore) {
+        self.strict.merge_from(&other.strict);
+        self.be.merge_from(&other.be);
+    }
+
     fn push(&mut self, record: &RequestRecord) {
         let ms = record.latency().as_millis_f64();
         if record.strict {
@@ -208,6 +213,22 @@ impl LatencyHistogram {
         self.min_ms = self.min_ms.min(ms);
         self.max_ms = self.max_ms.max(ms);
     }
+
+    /// Bucket-wise sum plus count/sum/min/max fold. Histograms are
+    /// order-insensitive, so merging per-shard histograms in any order
+    /// gives the same store a sequential run builds — except `sum_ms`,
+    /// where float addition is associative only in exact arithmetic; the
+    /// sharded engine merges shards in ascending shard order to keep the
+    /// result deterministic for a fixed shard count.
+    fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.min_ms = self.min_ms.min(other.min_ms);
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
 }
 
 /// Which request class an aggregation ranges over.
@@ -247,6 +268,25 @@ impl MetricsSet {
             agg.push(&record);
         } else {
             self.records.push(record);
+        }
+    }
+
+    /// Merges another set into this one. Both sets must be in the same
+    /// storage mode. In full mode the other set's records are appended
+    /// (the sharded engine merges shards in ascending shard order, so
+    /// record order is deterministic but generally differs from a
+    /// sequential run's completion order; every digest-visible
+    /// aggregation — counts, percentiles, CDFs — is order-insensitive).
+    /// In aggregate mode the histograms are summed bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage modes differ.
+    pub fn absorb(&mut self, other: MetricsSet) {
+        match (&mut self.aggregate, &other.aggregate) {
+            (None, None) => self.records.extend(other.records),
+            (Some(mine), Some(theirs)) => mine.merge_from(theirs),
+            _ => panic!("cannot absorb a MetricsSet of a different storage mode"),
         }
     }
 
@@ -661,6 +701,60 @@ mod tests {
         assert_eq!(s.strict, 100);
         assert!((s.strict_p50_ms - 50.0).abs() / 50.0 < 0.01);
         assert!((s.be_p99_ms - 990.0).abs() / 990.0 < 0.01);
+    }
+
+    #[test]
+    fn absorb_merges_full_and_aggregate_modes() {
+        // Full mode: the union's counts and percentiles match a set
+        // built from all records directly.
+        let mut a = MetricsSet::new();
+        let mut b = MetricsSet::new();
+        let mut whole = MetricsSet::new();
+        for i in 1..=100 {
+            let r = rec(i % 2 == 0, i as f64);
+            if i <= 60 {
+                a.push(r)
+            } else {
+                b.push(r)
+            }
+            whole.push(r);
+        }
+        a.absorb(b);
+        assert_eq!(a.count(Class::All), 100);
+        for class in [Class::Strict, Class::BestEffort, Class::All] {
+            assert_eq!(
+                a.latency_percentile_ms(class, 0.99),
+                whole.latency_percentile_ms(class, 0.99)
+            );
+        }
+        // Aggregate mode: histograms sum bucket-wise.
+        let mut a = MetricsSet::aggregate();
+        let mut b = MetricsSet::aggregate();
+        let mut whole = MetricsSet::aggregate();
+        for i in 1..=500 {
+            let r = rec(i % 3 == 0, (i as f64).sqrt());
+            if i % 2 == 0 {
+                a.push(r)
+            } else {
+                b.push(r)
+            }
+            whole.push(r);
+        }
+        a.absorb(b);
+        assert_eq!(a.count(Class::All), 500);
+        for class in [Class::Strict, Class::BestEffort, Class::All] {
+            assert_eq!(
+                a.latency_percentile_ms(class, 0.5),
+                whole.latency_percentile_ms(class, 0.5)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different storage mode")]
+    fn absorb_rejects_mode_mismatch() {
+        let mut a = MetricsSet::new();
+        a.absorb(MetricsSet::aggregate());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod series;
 pub mod time;
 
 pub use ewma::Ewma;
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue, KeyedEventQueue};
 pub use rng::{RngFactory, SimRng};
 pub use series::{Accumulator, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -88,6 +88,22 @@ pub enum TraceShape {
         /// Duration of each burst segment.
         segment: SimDuration,
     },
+    /// Square-wave pulse: `high_rps` for the ON fraction of each
+    /// period, `low_rps` for the rest. An ON level above fleet capacity
+    /// builds a backlog whose OFF-phase drain is pure event processing
+    /// with no interleaved arrivals — the admission-control stress
+    /// regime, and (because batch arrivals pin engine epochs to arrival
+    /// instants) the regime where drain-side work dominates.
+    Pulse {
+        /// Requests per second during the ON fraction.
+        high_rps: f64,
+        /// Requests per second during the OFF fraction (may be 0).
+        low_rps: f64,
+        /// Length of one ON+OFF cycle.
+        period: SimDuration,
+        /// ON fraction of each period, in `(0, 1]`.
+        duty: f64,
+    },
 }
 
 impl TraceShape {
@@ -113,6 +129,17 @@ impl TraceShape {
             peak_rps,
             peak_to_mean: 4561.0 / 2969.0,
             segment: SimDuration::from_secs(5.0),
+        }
+    }
+
+    /// A half-duty square wave: `high_rps` for the first half of each
+    /// `period`, silent for the second half.
+    pub fn pulse(high_rps: f64, period: SimDuration) -> Self {
+        TraceShape::Pulse {
+            high_rps,
+            low_rps: 0.0,
+            period,
+            duty: 0.5,
         }
     }
 }
@@ -498,6 +525,12 @@ enum RateKind {
         rates: Vec<f64>,
         segment_secs: f64,
     },
+    Pulse {
+        high: f64,
+        low: f64,
+        period_secs: f64,
+        on_secs: f64,
+    },
 }
 
 impl RateProfile {
@@ -573,6 +606,30 @@ impl RateProfile {
                     max_rate,
                 }
             }
+            TraceShape::Pulse {
+                high_rps,
+                low_rps,
+                period,
+                duty,
+            } => {
+                assert!(*high_rps > 0.0, "pulse high rate must be positive");
+                assert!(*low_rps >= 0.0, "pulse low rate may not be negative");
+                assert!(
+                    *duty > 0.0 && *duty <= 1.0,
+                    "pulse duty {duty} outside (0, 1]"
+                );
+                let period_secs = period.as_secs_f64();
+                assert!(period_secs > 0.0, "pulse period must be positive");
+                RateProfile {
+                    kind: RateKind::Pulse {
+                        high: *high_rps,
+                        low: *low_rps,
+                        period_secs,
+                        on_secs: period_secs * duty,
+                    },
+                    max_rate: high_rps.max(*low_rps),
+                }
+            }
         }
     }
 
@@ -592,6 +649,18 @@ impl RateProfile {
             } => {
                 let idx = ((t_secs / segment_secs) as usize).min(rates.len() - 1);
                 rates[idx]
+            }
+            RateKind::Pulse {
+                high,
+                low,
+                period_secs,
+                on_secs,
+            } => {
+                if t_secs.rem_euclid(*period_secs) < *on_secs {
+                    *high
+                } else {
+                    *low
+                }
             }
         }
     }
@@ -712,6 +781,35 @@ mod tests {
     }
 
     #[test]
+    fn pulse_alternates_between_levels() {
+        let trace = base_config(
+            TraceShape::pulse(1000.0, SimDuration::from_secs(10.0)),
+            60.0,
+        )
+        .generate(&RngFactory::new(13));
+        let stats = trace.stats();
+        // Half duty: mean ≈ high / 2, peak ≈ high.
+        assert!(
+            (stats.mean_rps - 500.0).abs() < 50.0,
+            "mean {}",
+            stats.mean_rps
+        );
+        assert!(
+            (stats.peak_rps - 1000.0).abs() < 150.0,
+            "peak {}",
+            stats.peak_rps
+        );
+        // The OFF half of each period is silent.
+        for r in trace.requests() {
+            assert!(
+                r.arrival.as_secs_f64().rem_euclid(10.0) < 5.0,
+                "arrival {} fell in an OFF window",
+                r.arrival.as_secs_f64()
+            );
+        }
+    }
+
+    #[test]
     fn strict_fraction_respected() {
         let mut cfg = base_config(TraceShape::constant(1000.0), 30.0);
         cfg.strict_fraction = 0.75;
@@ -794,14 +892,15 @@ mod tests {
         #[test]
         fn prop_trace_stream_matches_generate_element_for_element(
             seed in 0u64..1000,
-            shape_kind in 0usize..3,
+            shape_kind in 0usize..4,
             strict_pct in 0usize..5,
             batch_arrivals in proptest::bool::ANY,
         ) {
             let shape = match shape_kind {
                 0 => TraceShape::constant(300.0),
                 1 => TraceShape::wiki(400.0),
-                _ => TraceShape::twitter(600.0),
+                2 => TraceShape::twitter(600.0),
+                _ => TraceShape::pulse(800.0, SimDuration::from_secs(4.0)),
             };
             let mut cfg = base_config(shape, 15.0);
             cfg.strict_fraction = [0.0, 0.25, 0.5, 0.75, 1.0][strict_pct];

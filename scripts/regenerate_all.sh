@@ -57,7 +57,7 @@ require_bin() {
   fi
 }
 
-for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6; do
+for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6 bench_pr7; do
   require_bin "$bin"
 done
 
@@ -93,6 +93,13 @@ echo ">>> bench_pr5"
 # 8..8192, 1e9-request soak.
 echo ">>> bench_pr6"
 ./target/release/bench_pr6 30 "$SEED" >"$OUT/bench_pr6.txt" 2>/dev/null
+
+# Sharded-engine sweep (sequential vs S ∈ {2,4,8}, digest equality
+# asserted on every cell) plus the sharded streaming soak with
+# allocator accounting, written to results/bench_pr7.json. Wall-clock
+# floors arm only on ≥4-core hosts with real cell durations.
+echo ">>> bench_pr7"
+./target/release/bench_pr7 30 "$SEED" >"$OUT/bench_pr7.txt" 2>/dev/null
 
 TOTAL=$(($(date +%s) - START_EPOCH))
 echo "All outputs written to $OUT/"

@@ -1,8 +1,7 @@
 //! Golden-seed equivalence: the engine's observable results are pinned
-//! bit for bit against digests recorded under the all-jobs re-projection
-//! event discipline (PR 1 era). The next-completion-only scheduler is a
-//! pure performance refactor, so every scheme × seed must reproduce
-//! these lines exactly — floats are compared as `to_bits()` hex, so a
+//! bit for bit against recorded digests (re-captured for the per-worker
+//! jitter-stream relabel). Sequential, streaming and sharded runs must
+//! all reproduce these lines exactly — floats are compared as `to_bits()` hex, so a
 //! single ULP of drift anywhere in event ordering, RNG consumption or
 //! arithmetic association fails the test.
 //!
@@ -13,39 +12,41 @@
 //! cargo run --release -p protean-experiments --bin golden_digest
 //! ```
 
-use protean_experiments::golden::{golden_digests, golden_digests_streaming};
+use protean_experiments::golden::{
+    golden_digests, golden_digests_sharded, golden_digests_streaming,
+};
 
-/// Captured from the pre-refactor engine (all-jobs re-projection): every
-/// scheme × seeds {42, 7, 1234} on the paper's 8-worker wiki workload at
-/// 20 s, plus two spot-market runs covering eviction, VM replacement and
-/// censoring.
+/// Captured from the sequential engine (per-worker jitter streams):
+/// every scheme × seeds {42, 7, 1234} on the paper's 8-worker wiki
+/// workload at 20 s, plus two spot-market runs covering eviction, VM
+/// replacement and censoring.
 const EXPECTED: &[&str] = &[
-    "seed=42 Molecule (beta) n=26496 sp50=4063fbbe76c8b439 sp99=4071eab851eb851f be99=406e914fdf3b645a cost=3fcd219652bd3c36 util=3fe146d9be4cd74a cold=0 rc=0 cens=0 ev=0",
-    "seed=42 INFless/Llama n=26496 sp50=4076ccd0e5604189 sp99=4083c6ba5e353f7d be99=4079766e978d4fdf cost=3fcd219652bd3c36 util=3fc53deba8b00cfa cold=141 rc=0 cens=0 ev=0",
-    "seed=42 Naive Slicing n=26496 sp50=40602f126e978d50 sp99=406669db22d0e560 be99=4057c1a9fbe76c8b cost=3fcd219652bd3c36 util=3fcd68a1917e66f5 cold=0 rc=0 cens=0 ev=0",
-    "seed=42 MIG Only n=26496 sp50=4068e28f5c28f5c3 sp99=406f84083126e979 be99=4061e03126e978d5 cost=3fcd219652bd3c36 util=3fd484913e3dc705 cold=0 rc=0 cens=0 ev=0",
-    "seed=42 MPS+MIG n=26496 sp50=4060a28f5c28f5c3 sp99=406744083126e979 be99=4057c1fbe76c8b44 cost=3fcd219652bd3c36 util=3fca745ab983d72c cold=0 rc=0 cens=0 ev=0",
-    "seed=42 'Smart' MPS+MIG n=26496 sp50=40602f126e978d50 sp99=406669db22d0e560 be99=405840624dd2f1aa cost=3fcd219652bd3c36 util=3fcb7dc26c458aeb cold=0 rc=0 cens=0 ev=0",
-    "seed=42 GPUlet n=26496 sp50=40620be76c8b4396 sp99=4068dc6a7ef9db23 be99=405baba5e353f7cf cost=3fcd219652bd3c36 util=3fcbfe8cc31c74d6 cold=0 rc=0 cens=0 ev=0",
-    "seed=42 PROTEAN n=26496 sp50=406034f5c28f5c29 sp99=406669db22d0e560 be99=4058795810624dd3 cost=3fcd219652bd3c36 util=3fc898b90353bb38 cold=0 rc=8 cens=0 ev=0",
-    "seed=7 Molecule (beta) n=26112 sp50=4064a7f7ced91687 sp99=407222978d4fdf3b be99=4071877ced916873 cost=3fcd219652bd3c36 util=3fe2465800c7fc02 cold=0 rc=0 cens=0 ev=0",
-    "seed=7 INFless/Llama n=26112 sp50=4077205a1cac0831 sp99=4080fd353f7ced91 be99=407b914fdf3b645a cost=3fcd219652bd3c36 util=3fc5f664b6380ae2 cold=145 rc=0 cens=0 ev=0",
-    "seed=7 Naive Slicing n=26112 sp50=40606483126e978d sp99=4065e224dd2f1aa0 be99=4060e1916872b021 cost=3fcd219652bd3c36 util=3fcfced57e2d8893 cold=0 rc=0 cens=0 ev=0",
-    "seed=7 MIG Only n=26112 sp50=406914fdf3b645a2 sp99=406e2224dd2f1aa0 be99=406654c49ba5e354 cost=3fcd219652bd3c36 util=3fd58953ceeb662e cold=0 rc=0 cens=0 ev=0",
-    "seed=7 MPS+MIG n=26112 sp50=4060d4fdf3b645a2 sp99=4065e224dd2f1aa0 be99=4061274395810625 cost=3fcd219652bd3c36 util=3fccd36dd3cf50a3 cold=0 rc=0 cens=0 ev=0",
-    "seed=7 'Smart' MPS+MIG n=26112 sp50=40608ddb22d0e560 sp99=4065fff7ced91687 be99=4061274395810625 cost=3fcd219652bd3c36 util=3fcd6ef06ad55acd cold=0 rc=0 cens=0 ev=0",
-    "seed=7 GPUlet n=26112 sp50=4061d38d4fdf3b64 sp99=40669028f5c28f5c be99=4062bb1a9fbe76c9 cost=3fcd219652bd3c36 util=3fcd90f08868c4bb cold=0 rc=0 cens=0 ev=0",
-    "seed=7 PROTEAN n=26112 sp50=40606483126e978d sp99=4065fff7ced91687 be99=4061274395810625 cost=3fcd219652bd3c36 util=3fc9c6ac47b4abca cold=0 rc=8 cens=0 ev=0",
-    "seed=1234 Molecule (beta) n=22528 sp50=40648bbe76c8b439 sp99=4075ee083126e979 be99=4071aebc6a7ef9db cost=3fcd219652bd3c36 util=3fe18a6727009fe3 cold=0 rc=0 cens=0 ev=0",
-    "seed=1234 INFless/Llama n=22528 sp50=4074d30624dd2f1b sp99=4081e13b645a1cac be99=407d19ae147ae148 cost=3fcd219652bd3c36 util=3fc541a840fc498c cold=158 rc=0 cens=0 ev=0",
-    "seed=1234 Naive Slicing n=22528 sp50=4060a4ed916872b0 sp99=40688bced916872b be99=405bb24dd2f1a9fc cost=3fcd219652bd3c36 util=3fcdf3b76f363d92 cold=0 rc=0 cens=0 ev=0",
-    "seed=1234 MIG Only n=22528 sp50=40694a8f5c28f5c3 sp99=406fe0f5c28f5c29 be99=4064072b020c49ba cost=3fcd219652bd3c36 util=3fd4c6a5ac8ff7b5 cold=0 rc=0 cens=0 ev=0",
-    "seed=1234 MPS+MIG n=22528 sp50=4060f0189374bc6a sp99=4067a0f5c28f5c29 be99=405bb24dd2f1a9fc cost=3fcd219652bd3c36 util=3fcb1d2391d57ffa cold=0 rc=0 cens=0 ev=0",
-    "seed=1234 'Smart' MPS+MIG n=22528 sp50=4060d15810624dd3 sp99=407110c49ba5e354 be99=405e89374bc6a7f0 cost=3fcd219652bd3c36 util=3fcba2e5f5180817 cold=0 rc=0 cens=0 ev=0",
-    "seed=1234 GPUlet n=22528 sp50=4061ab2b020c49ba sp99=406c5083126e978d be99=4060d7126e978d50 cost=3fcd219652bd3c36 util=3fcc341dff446e42 cold=0 rc=0 cens=0 ev=0",
-    "seed=1234 PROTEAN n=22528 sp50=4060a2e147ae147b sp99=40665ab851eb851f be99=405e89374bc6a7f0 cost=3fcd219652bd3c36 util=3fc885ca2d5a12b8 cold=0 rc=8 cens=0 ev=0",
-    "spot seed=3 PROTEAN n=70272 sp50=406f1d1eb851eb85 sp99=4086913333333333 be99=407477c28f5c28f6 cost=3fbebbc18f0a9aa5 util=3fdd1cbf0d48504d cold=37 rc=0 cens=0 ev=1",
-    "spot seed=11 PROTEAN n=72704 sp50=40c806c04189374c sp99=40d355fd0e560419 be99=40d3722f8d4fdf3b cost=3fb90d87cbca26b8 util=3fc92433abdd5d4f cold=196 rc=0 cens=72704 ev=3",
+    "seed=42 Molecule (beta) n=26496 sp50=40649624dd2f1aa0 sp99=407160e147ae147b be99=406f3126e978d4fe cost=3fcd219652bd3c36 util=3fe144623d0bfa09 cold=0 rc=0 cens=0 ev=0",
+    "seed=42 INFless/Llama n=26496 sp50=4073b5999999999a sp99=4081a0b020c49ba6 be99=40792f89374bc6a8 cost=3fcd219652bd3c36 util=3fc4fd8eec418733 cold=135 rc=0 cens=0 ev=0",
+    "seed=42 Naive Slicing n=26496 sp50=4060e62d0e560419 sp99=4067f46a7ef9db23 be99=40576a3d70a3d70a cost=3fcd219652bd3c36 util=3fcd78232a5dd2b3 cold=0 rc=0 cens=0 ev=0",
+    "seed=42 MIG Only n=26496 sp50=406938f5c28f5c29 sp99=4070522d0e560419 be99=406312a7ef9db22d cost=3fcd219652bd3c36 util=3fd48cb5ca8f2399 cold=0 rc=0 cens=0 ev=0",
+    "seed=42 MPS+MIG n=26496 sp50=4060e6f9db22d0e5 sp99=4065e0dd2f1a9fbe be99=405aa54fdf3b645a cost=3fcd219652bd3c36 util=3fca862404e6d703 cold=0 rc=0 cens=0 ev=0",
+    "seed=42 'Smart' MPS+MIG n=26496 sp50=4060b9604189374c sp99=406ff883126e978d be99=4057e72b020c49ba cost=3fcd219652bd3c36 util=3fcb7d793245f85c cold=0 rc=0 cens=0 ev=0",
+    "seed=42 GPUlet n=26496 sp50=4061fb7ced916873 sp99=40694c28f5c28f5c be99=405ead810624dd2f cost=3fcd219652bd3c36 util=3fcbb91f3b2eaa39 cold=0 rc=0 cens=0 ev=0",
+    "seed=42 PROTEAN n=26496 sp50=4060bd5810624dd3 sp99=4068783126e978d5 be99=4058bf4bc6a7ef9e cost=3fcd219652bd3c36 util=3fc8a43738ac8769 cold=0 rc=8 cens=0 ev=0",
+    "seed=7 Molecule (beta) n=26112 sp50=40651d999999999a sp99=40735e24dd2f1aa0 be99=407079a1cac08312 cost=3fcd219652bd3c36 util=3fe23430994ff2b2 cold=0 rc=0 cens=0 ev=0",
+    "seed=7 INFless/Llama n=26112 sp50=40776e83126e978d sp99=4082b124dd2f1aa0 be99=407fa50624dd2f1b cost=3fcd219652bd3c36 util=3fc6013c559bbde5 cold=160 rc=0 cens=0 ev=0",
+    "seed=7 Naive Slicing n=26112 sp50=406085604189374c sp99=406a594fdf3b645a be99=405e54ed916872b0 cost=3fcd219652bd3c36 util=3fcf8acfb9afde65 cold=0 rc=0 cens=0 ev=0",
+    "seed=7 MIG Only n=26112 sp50=4068a3b645a1cac1 sp99=407006395810624e be99=40665322d0e56042 cost=3fcd219652bd3c36 util=3fd562d970bdd21a cold=0 rc=0 cens=0 ev=0",
+    "seed=7 MPS+MIG n=26112 sp50=406085604189374c sp99=4067721cac083127 be99=405f990624dd2f1b cost=3fcd219652bd3c36 util=3fcc97a9eaca8eaf cold=0 rc=0 cens=0 ev=0",
+    "seed=7 'Smart' MPS+MIG n=26112 sp50=40602b020c49ba5e sp99=40712fdb22d0e560 be99=405f990624dd2f1b cost=3fcd219652bd3c36 util=3fcd1a6d636d2b76 cold=0 rc=0 cens=0 ev=0",
+    "seed=7 GPUlet n=26112 sp50=406131f3b645a1cb sp99=406865db22d0e560 be99=4064c989374bc6a8 cost=3fcd219652bd3c36 util=3fcd238f310ae4e4 cold=0 rc=0 cens=0 ev=0",
+    "seed=7 PROTEAN n=26112 sp50=40605589374bc6a8 sp99=4069d95810624dd3 be99=405f6883126e978d cost=3fcd219652bd3c36 util=3fc955e41975b570 cold=0 rc=8 cens=0 ev=0",
+    "seed=1234 Molecule (beta) n=22528 sp50=4064d374bc6a7efa sp99=4072628f5c28f5c3 be99=4071346a7ef9db23 cost=3fcd219652bd3c36 util=3fe18a54096c904d cold=0 rc=0 cens=0 ev=0",
+    "seed=1234 INFless/Llama n=22528 sp50=4074bad0e5604189 sp99=4082aa2d0e560419 be99=407c5b851eb851ec cost=3fcd219652bd3c36 util=3fc5027b5a695809 cold=158 rc=0 cens=0 ev=0",
+    "seed=1234 Naive Slicing n=22528 sp50=4060bd4fdf3b645a sp99=406a4c6a7ef9db23 be99=405a5c395810624e cost=3fcd219652bd3c36 util=3fcdd8cf398e9707 cold=0 rc=0 cens=0 ev=0",
+    "seed=1234 MIG Only n=22528 sp50=40690ea7ef9db22d sp99=40709e083126e979 be99=4063ff126e978d50 cost=3fcd219652bd3c36 util=3fd4c5040095a71c cold=0 rc=0 cens=0 ev=0",
+    "seed=1234 MPS+MIG n=22528 sp50=4060b9a1cac08312 sp99=40684ee978d4fdf4 be99=405cd3a5e353f7cf cost=3fcd219652bd3c36 util=3fcb1e567a975103 cold=0 rc=0 cens=0 ev=0",
+    "seed=1234 'Smart' MPS+MIG n=22528 sp50=406075b22d0e5604 sp99=406eb26e978d4fdf be99=405cd3a5e353f7cf cost=3fcd219652bd3c36 util=3fcbbaf189324f8f cold=0 rc=0 cens=0 ev=0",
+    "seed=1234 GPUlet n=22528 sp50=40618ac083126e98 sp99=406c99db22d0e560 be99=4060820c49ba5e35 cost=3fcd219652bd3c36 util=3fcc0d07248c7c4e cold=0 rc=0 cens=0 ev=0",
+    "seed=1234 PROTEAN n=22528 sp50=4060d03126e978d5 sp99=406b871a9fbe76c9 be99=4060b9374bc6a7f0 cost=3fcd219652bd3c36 util=3fc8607dd816ea45 cold=0 rc=8 cens=0 ev=0",
+    "spot seed=3 PROTEAN n=70272 sp50=4070a90e56041893 sp99=40836b83126e978d be99=4074bab439581062 cost=3fbebbc18f0a9aa5 util=3fdcb8cdd661d711 cold=36 rc=0 cens=0 ev=1",
+    "spot seed=11 PROTEAN n=72704 sp50=40c806c04189374c sp99=40d355fd0e560419 be99=40d3722f8d4fdf3b cost=3fb90d87cbca26b8 util=3fc9b81318c440a9 cold=290 rc=2 cens=72704 ev=3",
 ];
 
 #[test]
@@ -92,6 +93,31 @@ fn streaming_arrivals_reproduce_the_recorded_digests() {
     assert!(
         mismatches.is_empty(),
         "{} of {} streamed digests diverged from the materialised engine:\n{}",
+        mismatches.len(),
+        EXPECTED.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The sharded engine (`shards = 4`, two shard threads) must reproduce
+/// the sequential engine bit for bit on every golden config — all eight
+/// schemes x three seeds plus the two spot-market runs (evictions,
+/// replacement, censoring). Comparing against the same recorded
+/// constants pins the parallel path to the recorded behaviour directly,
+/// not merely to whatever the sequential engine currently does.
+#[test]
+fn sharded_engine_reproduces_the_recorded_digests() {
+    let actual = golden_digests_sharded();
+    assert_eq!(actual.len(), EXPECTED.len());
+    let mut mismatches = Vec::new();
+    for (got, want) in actual.iter().zip(EXPECTED) {
+        if got != want {
+            mismatches.push(format!("  sharded:  {got}\n  recorded: {want}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} sharded digests diverged from the sequential engine:\n{}",
         mismatches.len(),
         EXPECTED.len(),
         mismatches.join("\n")

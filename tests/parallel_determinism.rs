@@ -89,3 +89,74 @@ fn run_parallel_preserves_input_order() {
     });
     assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
 }
+
+/// Grid-level and shard-level parallelism compose: a grid whose cells
+/// each run the sharded engine (which spawns its own shard threads)
+/// still returns bit-identical rows for any grid thread count, and the
+/// shared thread budget means the composition cannot oversubscribe.
+#[test]
+fn sharded_cells_inside_a_parallel_grid_stay_deterministic() {
+    let lineup = schemes::primary();
+    let mut cells = Vec::new();
+    for (i, scheme) in lineup.iter().enumerate() {
+        let setup = PaperSetup {
+            duration_secs: 10.0,
+            seed: 300 + i as u64,
+        };
+        let mut config = setup.cluster();
+        config.shards = 4;
+        config.shard_threads = 2;
+        cells.push(GridCell::new(
+            config,
+            scheme.as_ref(),
+            setup.wiki_trace(ModelId::ResNet50),
+        ));
+    }
+    let sequential = run_grid(&cells, 1);
+    let parallel = run_grid(&cells, 8);
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_rows_identical(s, p, i);
+    }
+}
+
+/// The invariant auditor runs with shards enabled: the per-shard
+/// `DispatchIndex` views are chained through `verify_partition` into
+/// the fleet sweep, and every shard count must report the sequential
+/// run's sweep count with zero violations.
+#[test]
+fn audit_sweeps_stay_clean_and_counted_across_shard_counts() {
+    use protean_cluster::run_simulation;
+    let setup = PaperSetup {
+        duration_secs: 15.0,
+        seed: 9,
+    };
+    let mut config = setup.cluster();
+    config.audit = true;
+    let trace = setup.wiki_trace(ModelId::ResNet50);
+    let scheme = protean::ProteanBuilder::paper();
+    let baseline = run_simulation(&config, &scheme, &trace);
+    assert!(baseline.audit.enabled);
+    assert!(baseline.audit.checks > 0);
+    assert!(baseline.audit.is_clean(), "{:?}", baseline.audit.violations);
+    for shards in [2usize, 4, 8] {
+        for threads in [1usize, 2] {
+            let mut sharded = config.clone();
+            sharded.shards = shards;
+            sharded.shard_threads = threads;
+            let r = run_simulation(&sharded, &scheme, &trace);
+            assert!(
+                r.audit.is_clean(),
+                "shards={shards} threads={threads}: {:?}",
+                r.audit.violations
+            );
+            assert_eq!(
+                baseline.audit.checks, r.audit.checks,
+                "shards={shards} threads={threads}: sweep cadence drifted"
+            );
+            assert_eq!(
+                baseline.censored, r.censored,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Shard-count invariance: the sharded engine is a pure wall-clock
+//! optimisation, so for ANY workload, seed, dispatch policy and shard
+//! count the golden digest (counts, sorted-latency percentiles, cost,
+//! utilization, lifecycle counters — floats compared as exact bit
+//! patterns) must equal the sequential engine's, and the invariant
+//! auditor must stay clean with the same sweep cadence.
+
+use proptest::prelude::*;
+use protean::ProteanBuilder;
+use protean_baselines::Baseline;
+use protean_cluster::fault::ScriptedMarket;
+use protean_cluster::{run_simulation, run_simulation_with_oracle, ClusterConfig, SchemeBuilder};
+use protean_experiments::golden::digest;
+use protean_models::{catalog, ModelId};
+use protean_sim::{SimDuration, SimTime};
+use protean_spot::{ProcurementPolicy, SpotAvailability};
+use protean_trace::{TraceConfig, TraceShape};
+
+fn any_vision_model() -> impl Strategy<Value = ModelId> {
+    prop::sample::select(catalog().vision().map(|p| p.id).collect::<Vec<_>>())
+}
+
+/// Covers both dispatch policies: Molecule/PROTEAN are load-balancing,
+/// INFless/Llama and GPUlet consolidate (first-fit with a batch cap).
+fn scheme_for(idx: usize) -> Box<dyn SchemeBuilder> {
+    match idx % 4 {
+        0 => Box::new(Baseline::MoleculeBeta),
+        1 => Box::new(Baseline::InflessLlama),
+        2 => Box::new(Baseline::Gpulet),
+        _ => Box::new(ProteanBuilder::paper()),
+    }
+}
+
+fn quick_config(seed: u64) -> ClusterConfig {
+    let mut c = ClusterConfig::paper_default();
+    c.workers = 8;
+    c.seed = seed;
+    c.warmup = SimDuration::from_secs(5.0);
+    c
+}
+
+fn quick_trace(model: ModelId, rps: f64, strict_fraction: f64) -> TraceConfig {
+    TraceConfig {
+        shape: TraceShape::constant(rps),
+        duration: SimDuration::from_secs(15.0),
+        strict_model: model,
+        strict_fraction,
+        be_pool: catalog().opposite_pool(model),
+        be_rotation_period: SimDuration::from_secs(10.0),
+        batch_arrivals: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Digest equality for shards ∈ {2, 4, 8} (threaded and inline)
+    /// against the sequential engine, across schemes of both dispatch
+    /// policies, arbitrary seeds, rates and mixes.
+    #[test]
+    fn prop_digest_invariant_under_sharding(
+        seed in 0u64..1000,
+        model in any_vision_model(),
+        rps in 200.0f64..2000.0,
+        strict_fraction in 0.1f64..0.9,
+        scheme_idx in 0usize..4,
+        shards in prop::sample::select(vec![2usize, 4, 8]),
+        threads in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let config = quick_config(seed);
+        let trace = quick_trace(model, rps, strict_fraction);
+        let scheme = scheme_for(scheme_idx);
+        let sequential = run_simulation(&config, scheme.as_ref(), &trace);
+        let mut sharded = config.clone();
+        sharded.shards = shards;
+        sharded.shard_threads = threads;
+        let parallel = run_simulation(&sharded, scheme.as_ref(), &trace);
+        prop_assert_eq!(digest(&sequential), digest(&parallel));
+    }
+
+    /// Same invariance through the scripted spot market: adversarial
+    /// evictions, VM replacement, orphan re-dispatch and censoring all
+    /// run on the coordinator, and the invariant auditor (which chains
+    /// per-shard `DispatchIndex::verify_partition` views into its fleet
+    /// sweep) must stay clean with the sequential sweep count.
+    #[test]
+    fn prop_digest_invariant_under_sharded_faults(
+        seed in 0u64..1000,
+        evict_worker in 0usize..3,
+        evict_at_secs in 6.0f64..20.0,
+        lead_secs in 1.0f64..30.0,
+        shards in prop::sample::select(vec![2usize, 3]),
+    ) {
+        let mut config = quick_config(seed);
+        config.workers = 3;
+        config.procurement = ProcurementPolicy::Hybrid;
+        config.availability = SpotAvailability::Low;
+        config.revocation_check = SimDuration::from_secs(5.0);
+        config.vm_startup = SimDuration::from_secs(5.0);
+        config.procurement_retry = SimDuration::from_secs(5.0);
+        config.audit = true;
+        let trace = quick_trace(ModelId::ResNet50, 300.0, 0.5);
+        let script = || {
+            ScriptedMarket::new().evict(
+                evict_worker,
+                SimTime::from_secs(evict_at_secs),
+                SimDuration::from_secs(lead_secs),
+            )
+        };
+        let mut market = script();
+        let sequential =
+            run_simulation_with_oracle(&config, &ProteanBuilder::paper(), &trace, &mut market);
+        let mut sharded = config.clone();
+        sharded.shards = shards;
+        sharded.shard_threads = 2;
+        let mut market = script();
+        let parallel =
+            run_simulation_with_oracle(&sharded, &ProteanBuilder::paper(), &trace, &mut market);
+        prop_assert_eq!(digest(&sequential), digest(&parallel));
+        prop_assert!(parallel.audit.is_clean(), "{:?}", parallel.audit.violations);
+        prop_assert!(parallel.audit.checks > 0);
+        prop_assert_eq!(sequential.audit.checks, parallel.audit.checks);
+    }
+}
