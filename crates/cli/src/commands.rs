@@ -45,6 +45,12 @@ FLAGS (simulate / compare):
   --threads <n>           compare only: worker threads for the scheme
                           grid (default PROTEAN_THREADS, then the
                           machine's available parallelism)
+  --shards <n>            engine shards; 1 = sequential engine
+                          (default 1; results are bit-identical)
+  --shard-threads <n>     OS threads driving the shard phases
+                          (default 1 = inline)
+  --max-epoch-arrivals <n> arrival-run coarsening cap for the sharded
+                          engine; 1 = one epoch per arrival (default 64)
   --availability <a>      high | medium | low (default high)
   --per-model <bool>      simulate only: also print a per-model table
 
@@ -58,7 +64,7 @@ FLAGS (gen-trace):
 ";
 
 /// Flags shared by `simulate` and `compare`.
-const RUN_FLAGS: [&str; 11] = [
+const RUN_FLAGS: [&str; 14] = [
     "model",
     "scheme",
     "trace",
@@ -70,8 +76,11 @@ const RUN_FLAGS: [&str; 11] = [
     "slo-mult",
     "procurement",
     "threads",
+    "shards",
+    "shard-threads",
+    "max-epoch-arrivals",
 ];
-const RUN_FLAGS_EXT: [&str; 13] = [
+const RUN_FLAGS_EXT: [&str; 16] = [
     "model",
     "scheme",
     "trace",
@@ -83,6 +92,9 @@ const RUN_FLAGS_EXT: [&str; 13] = [
     "slo-mult",
     "procurement",
     "threads",
+    "shards",
+    "shard-threads",
+    "max-epoch-arrivals",
     "availability",
     "per-model",
 ];
@@ -206,6 +218,20 @@ fn build_run(args: &Args) -> Result<(ClusterConfig, TraceConfig), ArgError> {
     }
     config.procurement = parse_procurement(args.get("procurement").unwrap_or("ondemand"))?;
     config.availability = parse_availability(args.get("availability").unwrap_or("high"))?;
+    config.shards = args.get_or("shards", 1usize)?;
+    if config.shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    config.shard_threads = args.get_or("shard-threads", 1usize)?;
+    if config.shard_threads == 0 {
+        return Err(ArgError("--shard-threads must be at least 1".into()));
+    }
+    config.max_epoch_arrivals = args.get_or("max-epoch-arrivals", 64u64)?;
+    if config.max_epoch_arrivals == 0 {
+        return Err(ArgError(
+            "--max-epoch-arrivals must be at least 1 (1 = one epoch per arrival)".into(),
+        ));
+    }
     Ok((config, trace))
 }
 
@@ -525,6 +551,38 @@ mod tests {
         .unwrap();
         replay(&a).unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sharding_flags_flow_into_the_config_and_validate() {
+        let args = Args::parse(
+            "simulate --shards 4 --shard-threads 2 --max-epoch-arrivals 16"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (config, _) = build_run(&args).unwrap();
+        assert_eq!(config.shards, 4);
+        assert_eq!(config.shard_threads, 2);
+        assert_eq!(config.max_epoch_arrivals, 16);
+
+        // Defaults: sequential engine, coarsening cap at the paper default.
+        let none = Args::parse(vec!["simulate".to_string()]).unwrap();
+        let (config, _) = build_run(&none).unwrap();
+        assert_eq!(config.shards, 1);
+        assert_eq!(config.shard_threads, 1);
+        assert_eq!(config.max_epoch_arrivals, 64);
+
+        for bad in [
+            "simulate --shards 0",
+            "simulate --shard-threads 0",
+            "simulate --max-epoch-arrivals 0",
+        ] {
+            let a =
+                Args::parse(bad.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap();
+            assert!(build_run(&a).is_err(), "{bad} must be rejected");
+        }
     }
 
     #[test]

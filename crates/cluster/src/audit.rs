@@ -337,6 +337,46 @@ impl Auditor {
         }
     }
 
+    /// End-of-run reconciliation of the epoch-coarsening counter triad
+    /// (sharded engine only; the sequential engine peels no runs). Every
+    /// arrival is either the head of a run (one epoch) or coalesced into
+    /// one, and every run ends for exactly one recorded cause, so:
+    ///
+    /// * `epochs + coalesced_arrivals == arrivals`, and
+    /// * `run_cutoffs.total() == epochs`.
+    ///
+    /// A broken triad means a run was cut without attribution (or
+    /// double-attributed) — the accounting bug this check exists to
+    /// catch, since the digests it rides next to are insensitive to
+    /// stats. Records violations only; it is not a sweep and does not
+    /// touch `checks`, which stays comparable between the sequential
+    /// and sharded engines.
+    pub(crate) fn epoch_conservation(&mut self, now: SimTime, stats: &crate::engine::EngineStats) {
+        if !self.enabled {
+            return;
+        }
+        if stats.epochs + stats.coalesced_arrivals != stats.arrivals {
+            self.violation(
+                now,
+                format!(
+                    "epoch conservation broken: epochs {} + coalesced {} != arrivals {}",
+                    stats.epochs, stats.coalesced_arrivals, stats.arrivals
+                ),
+            );
+        }
+        if stats.run_cutoffs.total() != stats.epochs {
+            self.violation(
+                now,
+                format!(
+                    "run cutoff attribution broken: cutoffs {:?} total {} != epochs {}",
+                    stats.run_cutoffs,
+                    stats.run_cutoffs.total(),
+                    stats.epochs
+                ),
+            );
+        }
+    }
+
     pub(crate) fn into_report(self) -> AuditReport {
         AuditReport {
             enabled: self.enabled,
@@ -448,6 +488,48 @@ mod tests {
         assert_eq!(r.violation_count, MAX_RECORDED as u64 + 40);
         assert_eq!(r.violations.len(), MAX_RECORDED);
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn epoch_conservation_accepts_a_reconciled_triad_without_a_sweep() {
+        let mut a = Auditor::new(true, 1);
+        let stats = crate::engine::EngineStats {
+            arrivals: 10,
+            epochs: 3,
+            coalesced_arrivals: 7,
+            run_cutoffs: crate::engine::RunCutoffs {
+                serial_event: 1,
+                max_arrivals: 1,
+                trace_end: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        a.epoch_conservation(SimTime::ZERO, &stats);
+        let r = a.into_report();
+        assert!(r.is_clean());
+        // Not a sweep: `checks` stays comparable to the sequential engine.
+        assert_eq!(r.checks, 0);
+    }
+
+    #[test]
+    fn epoch_conservation_flags_both_broken_identities() {
+        let mut a = Auditor::new(true, 1);
+        let stats = crate::engine::EngineStats {
+            arrivals: 10,
+            epochs: 3,
+            coalesced_arrivals: 5, // 3 + 5 != 10
+            run_cutoffs: crate::engine::RunCutoffs {
+                trace_end: 1, // total 1 != 3 epochs
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        a.epoch_conservation(SimTime::ZERO, &stats);
+        let r = a.into_report();
+        assert_eq!(r.violation_count, 2);
+        assert!(r.violations[0].contains("epoch conservation"));
+        assert!(r.violations[1].contains("cutoff attribution"));
     }
 
     fn dummy_ledger() -> VmLedger {

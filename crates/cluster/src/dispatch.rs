@@ -312,6 +312,60 @@ impl DispatchIndex {
     }
 }
 
+/// Decision-only dispatch resolution over one or more index partitions:
+/// `Consolidate` first-fit (when `cap` is set) over every partition,
+/// then the least-loaded accepting tier, then the least-loaded routable
+/// tier, each reduced by `min` over the partition answers. Every key a
+/// partition exposes embeds the *global* worker index, so the reduction
+/// reproduces the sequential fleet-wide scan's `(outstanding, idx)`
+/// tie-break (and first-fit's leftmost-slot rule) exactly, no matter
+/// how the fleet is partitioned.
+///
+/// The function only *reads* the indices — it never mutates a worker or
+/// a tree — which is what lets the sharded coordinator resolve a whole
+/// run of arrival dispatch decisions in serial order between phases
+/// without ordering hazards: each decision is applied (worker mutated,
+/// index refreshed) before the next one is resolved, and nothing here
+/// caches state across calls. A later tier is only consulted when every
+/// earlier tier is empty across *all* partitions, mirroring the
+/// sequential cascade's short-circuit (and its per-tier `visits`
+/// accounting).
+pub fn select_across<'a, I>(partitions: I, cap: Option<u64>, visits: &mut u64) -> Option<usize>
+where
+    I: Iterator<Item = &'a DispatchIndex> + Clone,
+{
+    let consolidated = cap.and_then(|cap| {
+        let mut best: Option<usize> = None;
+        for index in partitions.clone() {
+            if let Some(i) = index.first_fit(cap, visits) {
+                best = Some(best.map_or(i, |b| b.min(i)));
+            }
+        }
+        best
+    });
+    consolidated
+        .or_else(|| {
+            let mut best: Option<(u64, usize)> = None;
+            for index in partitions.clone() {
+                *visits += 1;
+                if let Some(k) = index.least_loaded_accepting_key() {
+                    best = Some(best.map_or(k, |b| b.min(k)));
+                }
+            }
+            best.map(|(_, idx)| idx)
+        })
+        .or_else(|| {
+            let mut best: Option<(u64, usize)> = None;
+            for index in partitions {
+                *visits += 1;
+                if let Some(k) = index.least_loaded_routable_key() {
+                    best = Some(best.map_or(k, |b| b.min(k)));
+                }
+            }
+            best.map(|(_, idx)| idx)
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +376,33 @@ mod tests {
             index.refresh(idx, routable, accepting, outstanding);
         }
         index
+    }
+
+    #[test]
+    fn select_across_partitions_matches_the_whole_fleet_index() {
+        let states = [
+            (true, true, 5),
+            (true, false, 1),
+            (true, true, 3),
+            (false, false, 0),
+            (true, true, 3),
+            (true, true, 9),
+        ];
+        let whole = filled(&states);
+        // Round-robin the same fleet across two fleet-width partitions.
+        let mut even = DispatchIndex::new(states.len());
+        let mut odd = DispatchIndex::new(states.len());
+        for (idx, &(routable, accepting, outstanding)) in states.iter().enumerate() {
+            let part = if idx % 2 == 0 { &mut even } else { &mut odd };
+            part.refresh(idx, routable, accepting, outstanding);
+        }
+        for cap in [None, Some(4), Some(2), Some(100)] {
+            let mut v_single = 0u64;
+            let mut v_parts = 0u64;
+            let single = select_across(std::iter::once(&whole), cap, &mut v_single);
+            let parts = select_across([&even, &odd].into_iter(), cap, &mut v_parts);
+            assert_eq!(single, parts, "cap {cap:?}");
+        }
     }
 
     #[test]

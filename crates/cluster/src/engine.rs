@@ -148,6 +148,19 @@ pub struct ClusterConfig {
     /// inline (useful on single-core hosts and in deterministic tests
     /// of the partitioned state machine).
     pub shard_threads: usize,
+    /// Upper bound on how many consecutive arrivals the sharded
+    /// coordinator may coalesce into one synchronization epoch
+    /// (arrival-run coarsening). The coordinator only extends a run
+    /// while doing so is *provably* exact — the next arrival must win
+    /// its tie against every pending serial event and no shard may hold
+    /// an event below the arrival's bound — so any value here yields
+    /// bit-identical results; the cap merely bounds how long the
+    /// coordinator defers its conflict re-checks. Values `<= 1` disable
+    /// coarsening (one epoch per arrival, the PR-7 discipline), which
+    /// is the differential arm the coarsening tests compare against.
+    /// Ignored by the sequential engine (`effective_shards() == 1`),
+    /// which has no epochs.
+    pub max_epoch_arrivals: u64,
 }
 
 impl ClusterConfig {
@@ -185,6 +198,7 @@ impl ClusterConfig {
             aggregate_metrics: false,
             shards: 1,
             shard_threads: 0,
+            max_epoch_arrivals: 64,
         }
     }
 
@@ -260,6 +274,60 @@ pub struct EngineStats {
     /// Batches that bounced straight back to the gateway backlog during
     /// the drain pass that re-dispatched them (re-dispatch churn).
     pub backlog_requeued: u64,
+    /// Requests dispatched at the gateway (arrivals at or before the
+    /// cutoff; the denominator of epochs-per-arrival).
+    pub arrivals: u64,
+    /// Arrival-run epochs the sharded coordinator started: each run
+    /// covers one or more consecutive arrivals whose intermediate
+    /// phases were proven empty. Per-arrival mode
+    /// (`max_epoch_arrivals <= 1`) records one epoch per arrival; the
+    /// sequential engine records zero (it has no epochs).
+    pub epochs: u64,
+    /// Arrivals absorbed into a running epoch beyond each run's first
+    /// (the barrier launches coarsening avoided). Conservation:
+    /// `epochs + coalesced_arrivals == arrivals`, audited at end of
+    /// run when [`ClusterConfig::audit`] is set.
+    pub coalesced_arrivals: u64,
+    /// Why each arrival run ended, by cause. Every run is cut exactly
+    /// once, so `run_cutoffs.total() == epochs` (also audited).
+    pub run_cutoffs: RunCutoffs,
+}
+
+/// Per-cause accounting of arrival-run terminations in the sharded
+/// coordinator (see [`EngineStats::run_cutoffs`]). The causes are
+/// mutually exclusive: the first one that fires ends the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCutoffs {
+    /// A pending serial coordinator event (window expiry, monitor tick
+    /// — the reconfiguration trigger —, revocation check, eviction
+    /// finalisation, VM arrival, procurement retry) won the tie against
+    /// the next arrival, so the run must yield to it.
+    pub serial_event: u64,
+    /// Some shard held a pending worker-local event below the next
+    /// arrival's bound: the intermediate phase would not be empty, so
+    /// coalescing past it is not provably exact.
+    pub shard_conflict: u64,
+    /// The run reached [`ClusterConfig::max_epoch_arrivals`].
+    pub max_arrivals: u64,
+    /// The coordinator's journal buffer reached
+    /// [`ClusterConfig::journal_capacity`]: the journal can accept no
+    /// further records, so deferring conflict re-checks buys nothing
+    /// and the run is cut to keep the cutoff triad reconcilable.
+    pub journal_pressure: u64,
+    /// The trace ran out of arrivals (or the next arrival lies beyond
+    /// the cutoff).
+    pub trace_end: u64,
+}
+
+impl RunCutoffs {
+    /// Total runs cut, across all causes.
+    pub fn total(&self) -> u64 {
+        self.serial_event
+            + self.shard_conflict
+            + self.max_arrivals
+            + self.journal_pressure
+            + self.trace_end
+    }
 }
 
 /// A completed MIG geometry change (Fig. 7 timeline).
@@ -682,6 +750,7 @@ impl<'a> Engine<'a> {
     /// batches *before* dispatch (Fig. 4 order: reorder/batch, then
     /// serve), so batches fill at the cluster-wide arrival rate.
     fn dispatch(&mut self, request: Request) {
+        self.stats.arrivals += 1;
         let batch_size = self.catalog.profile(request.model).batch_size;
         let key = (request.model, request.strict);
         let acc = self.accumulators.entry(key).or_default();
@@ -875,22 +944,13 @@ impl<'a> Engine<'a> {
     /// for reconfiguration gets no new traffic (§4.4 keeps downtime
     /// local) — then any live worker if every GPU is mid-change.
     fn indexed_target(&mut self, batch: &Batch, visits: &mut u64) -> Option<usize> {
-        let consolidated = match self.dispatch_policy {
+        let cap = match self.dispatch_policy {
             DispatchPolicy::Consolidate { cap_batches } => {
-                let cap = cap_batches * u64::from(self.catalog.profile(batch.model).batch_size);
-                self.index.first_fit(cap, visits)
+                Some(cap_batches * u64::from(self.catalog.profile(batch.model).batch_size))
             }
             DispatchPolicy::LoadBalance => None,
         };
-        consolidated
-            .or_else(|| {
-                *visits += 1;
-                self.index.least_loaded_accepting()
-            })
-            .or_else(|| {
-                *visits += 1;
-                self.index.least_loaded_routable()
-            })
+        crate::dispatch::select_across(std::iter::once(&self.index), cap, visits)
     }
 
     /// The original O(W) scans, retained as the differential reference

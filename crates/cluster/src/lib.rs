@@ -70,10 +70,11 @@ pub mod worker;
 
 pub use audit::AuditReport;
 pub use batch::{Batch, BatchId};
-pub use dispatch::DispatchIndex;
+pub use dispatch::{select_across, DispatchIndex};
 pub use engine::{
     run_simulation, run_simulation_on, run_simulation_streaming, run_simulation_with_oracle,
-    run_stream_with_oracle, run_trace_with_oracle, ClusterConfig, CostReport, SimulationResult,
+    run_stream_with_oracle, run_trace_with_oracle, ClusterConfig, CostReport, EngineStats,
+    RunCutoffs, SimulationResult,
 };
 pub use fault::{ScriptedMarket, SpotOracle};
 pub use journal::{Journal, JournalEvent};

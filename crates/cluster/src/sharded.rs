@@ -79,7 +79,7 @@ use protean_metrics::{LatencyBreakdown, MetricsSet, RequestRecord};
 use protean_models::{Catalog, ModelId};
 use protean_sim::{EventKey, KeyedEventQueue, RngFactory, SimRng, SimTime, TimeSeries};
 use protean_spot::{PricingTable, ProcurementPolicy, SpotOracle, VmId, VmLedger, VmTier};
-use protean_trace::{Request, Trace, TraceConfig, TraceStream};
+use protean_trace::{Lookahead, Request, Trace, TraceConfig, TraceStream};
 
 use crate::audit::Auditor;
 use crate::batch::{Accumulator, Batch, BatchId};
@@ -1103,6 +1103,7 @@ impl<'a> Coordinator<'a> {
     // ---- request path -----------------------------------------------
 
     fn dispatch(&mut self, request: Request) {
+        self.stats.arrivals += 1;
         let batch_size = self.catalog.profile(request.model).batch_size;
         let key = (request.model, request.strict);
         let acc = self.accumulators.entry(key).or_default();
@@ -1188,46 +1189,22 @@ impl<'a> Coordinator<'a> {
 
     /// Cross-shard reduction of the per-shard dispatch indices. Every
     /// shard's index is fleet-width with keys carrying global worker
-    /// indices, so the fleet winner is the min over shard roots —
-    /// first-fit picks the smallest global index any shard can seat
-    /// (equals the sequential fleet-wide first fit, because each
-    /// shard's descent is leftmost over its own slots), and the
-    /// least-loaded tiers pick the min `(outstanding, idx)` root.
+    /// indices, so [`crate::dispatch::select_across`]'s min-over-roots
+    /// reduction equals the sequential fleet-wide scan: first-fit picks
+    /// the smallest global index any shard can seat (each shard's
+    /// descent is leftmost over its own slots), and the least-loaded
+    /// tiers pick the min `(outstanding, idx)` root. Decision-only —
+    /// mutation (worker state + index refresh) happens strictly after,
+    /// which is what makes resolving a whole arrival run's decisions in
+    /// serial order between phases hazard-free.
     fn indexed_target(&self, batch: &Batch, visits: &mut u64) -> Option<usize> {
-        let consolidated = match self.dispatch_policy {
+        let cap = match self.dispatch_policy {
             DispatchPolicy::Consolidate { cap_batches } => {
-                let cap = cap_batches * u64::from(self.catalog.profile(batch.model).batch_size);
-                let mut best: Option<usize> = None;
-                for s in 0..self.shards() {
-                    if let Some(i) = self.core(s).index.first_fit(cap, visits) {
-                        best = Some(best.map_or(i, |b| b.min(i)));
-                    }
-                }
-                best
+                Some(cap_batches * u64::from(self.catalog.profile(batch.model).batch_size))
             }
             DispatchPolicy::LoadBalance => None,
         };
-        consolidated
-            .or_else(|| {
-                let mut best: Option<(u64, usize)> = None;
-                for s in 0..self.shards() {
-                    *visits += 1;
-                    if let Some(k) = self.core(s).index.least_loaded_accepting_key() {
-                        best = Some(best.map_or(k, |b| b.min(k)));
-                    }
-                }
-                best.map(|(_, idx)| idx)
-            })
-            .or_else(|| {
-                let mut best: Option<(u64, usize)> = None;
-                for s in 0..self.shards() {
-                    *visits += 1;
-                    if let Some(k) = self.core(s).index.least_loaded_routable_key() {
-                        best = Some(best.map_or(k, |b| b.min(k)));
-                    }
-                }
-                best.map(|(_, idx)| idx)
-            })
+        crate::dispatch::select_across((0..self.shards()).map(|s| &self.core(s).index), cap, visits)
     }
 
     fn acquire_container(&mut self, g: usize, batch: Batch) {
@@ -1271,7 +1248,7 @@ impl<'a> Coordinator<'a> {
         let mut parts = std::mem::take(&mut self.scratch_parts);
         parts.clear();
         for s in 0..self.shards() {
-            if self.core(s).queue.peek_key().is_some_and(|k| k < bound) {
+            if self.core(s).queue.has_event_before(bound) {
                 parts.push(s);
             }
         }
@@ -1388,9 +1365,9 @@ impl<'a> Coordinator<'a> {
             Done,
         }
         self.cutoff = SimTime::ZERO + duration + self.config.drain_grace;
-        let mut arrivals = arrivals.peekable();
+        let mut arrivals = Lookahead::new(arrivals);
         loop {
-            let next_arrival = arrivals.peek().map(|r| r.arrival);
+            let next_arrival = arrivals.peek_arrival();
             let next_coord = self.coord_queue.peek_key();
             let (bound, step) = match (next_arrival, next_coord) {
                 (Some(ta), Some(ck)) if ta <= ck.time => (EventKey::new(ta, 0, 0), Step::Arrival),
@@ -1407,12 +1384,7 @@ impl<'a> Coordinator<'a> {
                     if ta > self.cutoff {
                         break;
                     }
-                    self.now = ta;
-                    self.dseq += 1;
-                    self.begin_ctx(EventKey::new(ta, 0, self.dseq));
-                    let r = arrivals.next().expect("peeked");
-                    self.dispatch(r);
-                    self.audit_boundary(ta, 1);
+                    self.dispatch_run(&mut arrivals);
                 }
                 Step::Coord => {
                     let ck = next_coord.expect("peeked");
@@ -1429,7 +1401,78 @@ impl<'a> Coordinator<'a> {
             }
         }
         self.now = self.cutoff;
+        self.audit.epoch_conservation(self.now, &self.stats);
         self.censor_remaining();
+    }
+
+    /// Peels and dispatches one maximal *arrival run* — the epoch
+    /// coarsening at the heart of this engine's scalability on
+    /// arrival-dense traces. The phase bounded at the run's first
+    /// arrival has just completed, so every shard's next pending event
+    /// (if any) sits at or after that arrival's bound. Each run member
+    /// is dispatched exactly as in per-arrival mode (serial context,
+    /// live index resolution, full mutation, per-arrival audit
+    /// opportunity); the run then *extends* to the next arrival only
+    /// when the phase the per-arrival discipline would insert before it
+    /// is provably empty:
+    ///
+    /// * the arrival wins its `ta <= te` tie against every pending
+    ///   serial coordinator event (re-checked each step — dispatching a
+    ///   run member can schedule a window expiry), and
+    /// * no shard holds a pending event below `(ta, 0, 0)` (re-checked
+    ///   each step — a cold start deposits a serially-keyed `BootDone`
+    ///   into a shard heap mid-run).
+    ///
+    /// A skipped phase with no participants has *no* effect in
+    /// per-arrival mode (`run_phase` returns 0 before touching the
+    /// epoch counter or the barrier, and a 0-event `audit_boundary` is
+    /// a no-op), so eliding it is exact — bit-identical by
+    /// construction, for any workload, shard count and cap. Runs
+    /// additionally cut at [`ClusterConfig::max_epoch_arrivals`], under
+    /// journal-capacity pressure, and at the trace end / cutoff; every
+    /// cut is attributed to exactly one cause so the counter triad
+    /// reconciles (see [`Auditor::epoch_conservation`]).
+    fn dispatch_run<I: Iterator<Item = Request>>(&mut self, arrivals: &mut Lookahead<I>) {
+        let cap = self.config.max_epoch_arrivals.max(1);
+        self.stats.epochs += 1;
+        let mut len = 0u64;
+        loop {
+            let r = arrivals.next().expect("admission-checked");
+            self.now = r.arrival;
+            self.dseq += 1;
+            self.begin_ctx(EventKey::new(r.arrival, 0, self.dseq));
+            self.dispatch(r);
+            len += 1;
+            self.audit_boundary(self.now, 1);
+
+            let ta = match arrivals.peek_arrival() {
+                Some(ta) if ta <= self.cutoff => ta,
+                _ => {
+                    self.stats.run_cutoffs.trace_end += 1;
+                    break;
+                }
+            };
+            if len >= cap {
+                self.stats.run_cutoffs.max_arrivals += 1;
+                break;
+            }
+            if self.config.journal_capacity > 0
+                && self.journal_buf.len() >= self.config.journal_capacity
+            {
+                self.stats.run_cutoffs.journal_pressure += 1;
+                break;
+            }
+            if self.coord_queue.peek_key().is_some_and(|ck| ck.time < ta) {
+                self.stats.run_cutoffs.serial_event += 1;
+                break;
+            }
+            let bound = EventKey::new(ta, 0, 0);
+            if (0..self.shards()).any(|s| self.core(s).queue.has_event_before(bound)) {
+                self.stats.run_cutoffs.shard_conflict += 1;
+                break;
+            }
+        }
+        self.stats.coalesced_arrivals += len - 1;
     }
 
     fn handle_coord(&mut self, ev: CoordEvent) {
@@ -2230,6 +2273,98 @@ mod tests {
         let b = par.metrics.slo_compliance(&slo);
         assert_eq!(a.to_bits(), b.to_bits());
         assert!(b > 0.9, "compliance {b}");
+    }
+
+    #[test]
+    fn coarsened_runs_match_per_arrival_epochs_and_reconcile() {
+        let mut config = ClusterConfig::small_test();
+        config.audit = true;
+        config.shards = 4;
+        config.shard_threads = 1;
+        let t = trace(400.0, 30.0, 0.5);
+        let mut per_arrival = config.clone();
+        per_arrival.max_epoch_arrivals = 1;
+        let base = run_simulation(&per_arrival, &AlwaysLargest, &t);
+        config.max_epoch_arrivals = 64;
+        let coarse = run_simulation(&config, &AlwaysLargest, &t);
+        assert_equivalent(&base, &coarse);
+        assert!(base.audit.is_clean(), "{:?}", base.audit.violations);
+        assert!(coarse.audit.is_clean(), "{:?}", coarse.audit.violations);
+        // Per-arrival epochs: every run is a singleton.
+        assert_eq!(base.stats.epochs, base.stats.arrivals);
+        assert_eq!(base.stats.coalesced_arrivals, 0);
+        // Coarsening actually coalesces on an arrival-dense trace, and
+        // the counter triad reconciles.
+        assert!(coarse.stats.epochs < coarse.stats.arrivals);
+        assert!(coarse.stats.coalesced_arrivals > 0);
+        assert_eq!(
+            coarse.stats.epochs + coarse.stats.coalesced_arrivals,
+            coarse.stats.arrivals
+        );
+        assert_eq!(coarse.stats.run_cutoffs.total(), coarse.stats.epochs);
+        assert_eq!(base.stats.run_cutoffs.total(), base.stats.epochs);
+    }
+
+    #[test]
+    fn run_is_cut_exactly_at_a_reconfig_trigger_arrival() {
+        // Ten strict arrivals 1 ms apart straddling the t = 2 s monitor
+        // tick (the reconfiguration trigger). The sixth arrival lands
+        // exactly on the tick and must win its `ta <= te` tie — then
+        // the run must cut *there*, because the seventh arrival would
+        // need a phase after the serially-ordered tick.
+        let requests: Vec<Request> = (0..10)
+            .map(|i| Request {
+                id: protean_trace::RequestId(i),
+                arrival: SimTime::from_millis(1995.0 + i as f64),
+                model: ModelId::ResNet50,
+                strict: true,
+            })
+            .collect();
+        let t = Trace::from_parts(requests.clone(), SimDuration::from_secs(3.0));
+        let mut config = ClusterConfig::small_test();
+        config.audit = true;
+        config.shards = 2;
+        config.shard_threads = 1;
+        let par = crate::engine::run_simulation_on(&config, &AlwaysLargest, t);
+        assert!(par.audit.is_clean(), "{:?}", par.audit.violations);
+        assert_eq!(par.stats.arrivals, 10);
+        // Run 1: arrivals at 1.995..=2.000 s (six, the tick-tied one
+        // included), cut by the serial monitor tick. Run 2: the four
+        // remaining arrivals, cut by the trace end.
+        assert_eq!(par.stats.epochs, 2);
+        assert_eq!(par.stats.coalesced_arrivals, 8);
+        assert_eq!(par.stats.run_cutoffs.serial_event, 1);
+        assert_eq!(par.stats.run_cutoffs.trace_end, 1);
+        assert_eq!(par.stats.run_cutoffs.total(), par.stats.epochs);
+        // Still bit-identical to the sequential engine on the same trace.
+        let seq = crate::engine::run_simulation_on(
+            &ClusterConfig {
+                audit: true,
+                ..ClusterConfig::small_test()
+            },
+            &AlwaysLargest,
+            Trace::from_parts(requests, SimDuration::from_secs(3.0)),
+        );
+        assert_equivalent(&seq, &par);
+    }
+
+    #[test]
+    fn journal_pressure_cuts_runs_and_stays_equivalent() {
+        let mut config = ClusterConfig::small_test();
+        config.journal_capacity = 512;
+        let t = trace(400.0, 30.0, 0.5);
+        let (seq, par) = run_pair(&config, 2, 1, &t);
+        assert_equivalent(&seq, &par);
+        assert!(
+            par.stats.run_cutoffs.journal_pressure > 0,
+            "expected journal-pressure cutoffs, got {:?}",
+            par.stats.run_cutoffs
+        );
+        assert_eq!(
+            par.stats.epochs + par.stats.coalesced_arrivals,
+            par.stats.arrivals
+        );
+        assert_eq!(par.stats.run_cutoffs.total(), par.stats.epochs);
     }
 
     #[test]

@@ -113,6 +113,8 @@ struct CellRow {
     shards: usize,
     requests: usize,
     batches: u64,
+    arrivals: u64,
+    epochs: u64,
     sequential_secs: f64,
     sharded_secs: f64,
 }
@@ -120,6 +122,14 @@ struct CellRow {
 impl CellRow {
     fn speedup(&self) -> f64 {
         self.sequential_secs / self.sharded_secs.max(1e-9)
+    }
+
+    /// Synchronization epochs per dispatched arrival in the sharded
+    /// run: 1.0 under the per-arrival PR-7 discipline, below it when
+    /// arrival-run coarsening coalesces consecutive arrivals into one
+    /// phase (PR-8).
+    fn epochs_per_arrival(&self) -> f64 {
+        self.epochs as f64 / self.arrivals.max(1) as f64
     }
 }
 
@@ -194,6 +204,8 @@ fn run_cell(
             shards,
             requests,
             batches: sharded.stats.dispatch_batches,
+            arrivals: sharded.stats.arrivals,
+            epochs: sharded.stats.epochs,
             sequential_secs,
             sharded_secs,
         });
@@ -414,7 +426,7 @@ fn pr7_json(
         out.push_str(&format!(
             "    {{\"trace\": \"{}\", \"workers\": {}, \"shards\": {}, \"requests\": {}, \
              \"batches\": {}, \"sequential_secs\": {:.6}, \"sharded_secs\": {:.6}, \
-             \"speedup\": {:.3}}}{}\n",
+             \"speedup\": {:.3}, \"epochs_per_arrival\": {:.4}}}{}\n",
             r.trace,
             r.workers,
             r.shards,
@@ -423,6 +435,7 @@ fn pr7_json(
             r.sequential_secs,
             r.sharded_secs,
             r.speedup(),
+            r.epochs_per_arrival(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -557,6 +570,7 @@ fn main() {
                     format!("{:.2}", r.sequential_secs),
                     format!("{:.2}", r.sharded_secs),
                     format!("{:.2}x", r.speedup()),
+                    format!("{:.3}", r.epochs_per_arrival()),
                 ]
             })
             .collect();
@@ -570,6 +584,7 @@ fn main() {
                 "seq s",
                 "sharded s",
                 "speedup",
+                "ep/arr",
             ],
             &printable,
         );

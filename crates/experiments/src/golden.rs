@@ -93,6 +93,21 @@ pub fn golden_digests_sharded() -> Vec<String> {
     })
 }
 
+/// [`golden_digests_sharded`] with epoch coarsening forced off
+/// (`max_epoch_arrivals = 1`, the per-arrival PR-7 discipline). Arrival
+/// runs are exact elisions of provably-empty phases, so coarsened and
+/// per-arrival digests must both equal the sequential lines; this
+/// function is the differential arm that pins the per-arrival side.
+pub fn golden_digests_sharded_per_arrival() -> Vec<String> {
+    golden_digests_with(|config, scheme, trace| {
+        let mut sharded = config.clone();
+        sharded.shards = 4;
+        sharded.shard_threads = 2;
+        sharded.max_epoch_arrivals = 1;
+        run_simulation(&sharded, scheme, trace)
+    })
+}
+
 fn golden_digests_with(
     run: fn(&ClusterConfig, &dyn SchemeBuilder, &TraceConfig) -> SimulationResult,
 ) -> Vec<String> {

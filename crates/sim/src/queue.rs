@@ -241,6 +241,14 @@ impl<E> KeyedEventQueue<E> {
         self.heap.peek().map(|e| e.key)
     }
 
+    /// `true` if some pending event orders strictly before `bound` —
+    /// the phase-participation / run-conflict test of the sharded
+    /// cluster engine, which must decide in O(1) per shard whether a
+    /// phase bounded at `bound` would have anything to do.
+    pub fn has_event_before(&self, bound: EventKey) -> bool {
+        self.peek_key().is_some_and(|k| k < bound)
+    }
+
     /// Events pushed over the queue's lifetime.
     pub fn pushed(&self) -> u64 {
         self.pushed
@@ -326,6 +334,20 @@ mod tests {
         assert_eq!(q.pushed(), 4);
         assert_eq!(q.popped(), 4);
         assert_eq!(q.peak_len(), 4);
+    }
+
+    #[test]
+    fn has_event_before_is_a_strict_bound() {
+        let mut q = KeyedEventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        assert!(!q.has_event_before(EventKey::new(SimTime::MAX, u64::MAX, u64::MAX)));
+        q.push(EventKey::new(t, 3, 5), ());
+        assert!(q.has_event_before(EventKey::new(t, 3, 6)));
+        // The bound is exclusive: an event exactly at the bound does
+        // not participate.
+        assert!(!q.has_event_before(EventKey::new(t, 3, 5)));
+        assert!(!q.has_event_before(EventKey::new(t, 0, 0)));
+        assert!(q.has_event_before(EventKey::new(SimTime::from_secs(2.0), 0, 0)));
     }
 
     proptest! {

@@ -423,6 +423,55 @@ impl Iterator for TraceStream {
     }
 }
 
+/// One-request lookahead over an arrival source, materialised or
+/// streamed.
+///
+/// The sharded cluster engine's coordinator peels *runs* of consecutive
+/// arrivals and must see the next arrival instant before committing to
+/// admit it into the current epoch — without materialising a streamed
+/// trace (a [`TraceStream`] generates arrivals lazily precisely so
+/// fleet-scale runs never hold the request vector). `Lookahead` buffers
+/// exactly one pending request: `peek_arrival` advances the underlying
+/// source at most one element ahead of `next`, so iteration order, RNG
+/// consumption and memory footprint are identical to driving the source
+/// directly.
+#[derive(Debug)]
+pub struct Lookahead<I: Iterator<Item = Request>> {
+    inner: I,
+    buffered: Option<Request>,
+}
+
+impl<I: Iterator<Item = Request>> Lookahead<I> {
+    /// Wraps an arrival source.
+    pub fn new(inner: I) -> Self {
+        Lookahead {
+            inner,
+            buffered: None,
+        }
+    }
+
+    /// The next request without consuming it.
+    pub fn peek(&mut self) -> Option<&Request> {
+        if self.buffered.is_none() {
+            self.buffered = self.inner.next();
+        }
+        self.buffered.as_ref()
+    }
+
+    /// The next request's arrival instant without consuming it.
+    pub fn peek_arrival(&mut self) -> Option<SimTime> {
+        self.peek().map(|r| r.arrival)
+    }
+}
+
+impl<I: Iterator<Item = Request>> Iterator for Lookahead<I> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        self.buffered.take().or_else(|| self.inner.next())
+    }
+}
+
 /// A generated trace: requests sorted by arrival time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -728,6 +777,24 @@ mod tests {
             assert!(r.arrival < SimTime::from_secs(30.0));
             last = r.arrival;
         }
+    }
+
+    #[test]
+    fn lookahead_peek_is_transparent_over_a_stream() {
+        let cfg = base_config(TraceShape::wiki(300.0), 10.0);
+        let materialised = cfg.generate(&RngFactory::new(9)).into_requests();
+        let mut ahead = Lookahead::new(cfg.stream(&RngFactory::new(9)));
+        let mut seen = Vec::new();
+        // Interleave peeks with consumption: peeking must never skip,
+        // duplicate or reorder an element.
+        while let Some(ta) = ahead.peek_arrival() {
+            let r = ahead.next().expect("peeked");
+            assert_eq!(r.arrival, ta);
+            assert_eq!(ahead.peek().copied(), ahead.peek().copied());
+            seen.push(r);
+        }
+        assert!(ahead.next().is_none());
+        assert_eq!(seen, materialised);
     }
 
     #[test]

@@ -57,7 +57,7 @@ require_bin() {
   fi
 }
 
-for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6 bench_pr7; do
+for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6 bench_pr7 bench_pr8; do
   require_bin "$bin"
 done
 
@@ -100,6 +100,12 @@ echo ">>> bench_pr6"
 # floors arm only on ≥4-core hosts with real cell durations.
 echo ">>> bench_pr7"
 ./target/release/bench_pr7 30 "$SEED" >"$OUT/bench_pr7.txt" 2>/dev/null
+
+# Epoch-coarsening differential (per-arrival vs coarsened arms, digest
+# equality and the epochs-per-arrival floor asserted on every cell),
+# written to results/bench_pr8.json.
+echo ">>> bench_pr8"
+./target/release/bench_pr8 30 "$SEED" >"$OUT/bench_pr8.txt" 2>/dev/null
 
 TOTAL=$(($(date +%s) - START_EPOCH))
 echo "All outputs written to $OUT/"

@@ -13,7 +13,8 @@
 //! ```
 
 use protean_experiments::golden::{
-    golden_digests, golden_digests_sharded, golden_digests_streaming,
+    golden_digests, golden_digests_sharded, golden_digests_sharded_per_arrival,
+    golden_digests_streaming,
 };
 
 /// Captured from the sequential engine (per-worker jitter streams):
@@ -118,6 +119,31 @@ fn sharded_engine_reproduces_the_recorded_digests() {
     assert!(
         mismatches.is_empty(),
         "{} of {} sharded digests diverged from the sequential engine:\n{}",
+        mismatches.len(),
+        EXPECTED.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The coarsening differential arm: the sharded engine with epoch
+/// coarsening forced off (`max_epoch_arrivals = 1`, one epoch per
+/// arrival) must also reproduce the recorded digests on every golden
+/// config. Together with `sharded_engine_reproduces_the_recorded_digests`
+/// (which runs coarsened, the default) this pins both sides of the
+/// run-peeling contract: eliding a provably-empty phase is exact.
+#[test]
+fn per_arrival_epochs_reproduce_the_recorded_digests() {
+    let actual = golden_digests_sharded_per_arrival();
+    assert_eq!(actual.len(), EXPECTED.len());
+    let mut mismatches = Vec::new();
+    for (got, want) in actual.iter().zip(EXPECTED) {
+        if got != want {
+            mismatches.push(format!("  per-arrival: {got}\n  recorded:    {want}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} per-arrival digests diverged from the recorded behaviour:\n{}",
         mismatches.len(),
         EXPECTED.len(),
         mismatches.join("\n")

@@ -121,4 +121,95 @@ proptest! {
         prop_assert!(parallel.audit.checks > 0);
         prop_assert_eq!(sequential.audit.checks, parallel.audit.checks);
     }
+
+    /// Epoch coarsening is a pure elision of provably-empty phases, so
+    /// the digest must be invariant not only in the shard count but in
+    /// the coarsening cap: per-arrival (`max_epoch_arrivals = 1`),
+    /// lightly coarsened and fully coarsened runs of the same cell must
+    /// all reproduce the sequential digest, across schemes of both
+    /// dispatch policies, seeds, rates and mixes — and the counter
+    /// triad must reconcile on every arm.
+    #[test]
+    fn prop_digest_invariant_under_epoch_coarsening(
+        seed in 0u64..1000,
+        model in any_vision_model(),
+        rps in 200.0f64..2000.0,
+        strict_fraction in 0.1f64..0.9,
+        scheme_idx in 0usize..4,
+        shards in prop::sample::select(vec![2usize, 4, 8]),
+        cap in prop::sample::select(vec![1u64, 4, 64]),
+    ) {
+        let config = quick_config(seed);
+        let trace = quick_trace(model, rps, strict_fraction);
+        let scheme = scheme_for(scheme_idx);
+        let sequential = run_simulation(&config, scheme.as_ref(), &trace);
+        let mut sharded = config.clone();
+        sharded.shards = shards;
+        sharded.shard_threads = 2;
+        sharded.max_epoch_arrivals = cap;
+        let parallel = run_simulation(&sharded, scheme.as_ref(), &trace);
+        prop_assert_eq!(digest(&sequential), digest(&parallel));
+        prop_assert_eq!(
+            parallel.stats.epochs + parallel.stats.coalesced_arrivals,
+            parallel.stats.arrivals
+        );
+        prop_assert_eq!(parallel.stats.run_cutoffs.total(), parallel.stats.epochs);
+        if cap == 1 {
+            prop_assert_eq!(parallel.stats.epochs, parallel.stats.arrivals);
+            prop_assert_eq!(parallel.stats.coalesced_arrivals, 0);
+        }
+    }
+
+    /// Coarsening under scripted spot evictions with the auditor on:
+    /// the coarsened and per-arrival arms must agree with each other
+    /// bit for bit AND sweep the invariant auditor the same number of
+    /// times — per-arrival audit opportunities happen *inside* runs, so
+    /// coalescing must not change the sweep cadence.
+    #[test]
+    fn prop_coarsening_preserves_audit_cadence_under_faults(
+        seed in 0u64..1000,
+        evict_worker in 0usize..3,
+        evict_at_secs in 6.0f64..20.0,
+        lead_secs in 1.0f64..30.0,
+        shards in prop::sample::select(vec![2usize, 3]),
+    ) {
+        let mut config = quick_config(seed);
+        config.workers = 3;
+        config.procurement = ProcurementPolicy::Hybrid;
+        config.availability = SpotAvailability::Low;
+        config.revocation_check = SimDuration::from_secs(5.0);
+        config.vm_startup = SimDuration::from_secs(5.0);
+        config.procurement_retry = SimDuration::from_secs(5.0);
+        config.audit = true;
+        config.shards = shards;
+        config.shard_threads = 2;
+        let trace = quick_trace(ModelId::ResNet50, 300.0, 0.5);
+        let script = || {
+            ScriptedMarket::new().evict(
+                evict_worker,
+                SimTime::from_secs(evict_at_secs),
+                SimDuration::from_secs(lead_secs),
+            )
+        };
+        let mut per_arrival_cfg = config.clone();
+        per_arrival_cfg.max_epoch_arrivals = 1;
+        let mut market = script();
+        let per_arrival =
+            run_simulation_with_oracle(&per_arrival_cfg, &ProteanBuilder::paper(), &trace, &mut market);
+        let mut coarse_cfg = config.clone();
+        coarse_cfg.max_epoch_arrivals = 64;
+        let mut market = script();
+        let coarse =
+            run_simulation_with_oracle(&coarse_cfg, &ProteanBuilder::paper(), &trace, &mut market);
+        prop_assert_eq!(digest(&per_arrival), digest(&coarse));
+        prop_assert!(per_arrival.audit.is_clean(), "{:?}", per_arrival.audit.violations);
+        prop_assert!(coarse.audit.is_clean(), "{:?}", coarse.audit.violations);
+        prop_assert!(coarse.audit.checks > 0);
+        prop_assert_eq!(per_arrival.audit.checks, coarse.audit.checks);
+        prop_assert_eq!(
+            coarse.stats.epochs + coarse.stats.coalesced_arrivals,
+            coarse.stats.arrivals
+        );
+        prop_assert_eq!(coarse.stats.run_cutoffs.total(), coarse.stats.epochs);
+    }
 }
