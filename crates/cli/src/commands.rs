@@ -26,6 +26,8 @@ USAGE:
   protean-cli gen-trace [flags]  write a generated trace to --out
   protean-cli catalog            list the 22 workload models
   protean-cli geometries         list valid MIG geometries + placements
+  protean-cli scenario list      list the scenario catalog (--dir)
+  protean-cli scenario run       run scenarios with report cards
   protean-cli help               this text
 
 FLAGS (simulate / compare):
@@ -46,11 +48,14 @@ FLAGS (simulate / compare):
                           grid (default PROTEAN_THREADS, then the
                           machine's available parallelism)
   --shards <n>            engine shards; 1 = sequential engine
-                          (default 1; results are bit-identical)
+                          (default 1; results are bit-identical;
+                          0 is rejected — there is no zero-shard run)
   --shard-threads <n>     OS threads driving the shard phases
-                          (default 1 = inline)
+                          (default 1 = inline; 0 = auto, the machine's
+                          available parallelism)
   --max-epoch-arrivals <n> arrival-run coarsening cap for the sharded
-                          engine; 1 = one epoch per arrival (default 64)
+                          engine; 0 and 1 both mean one epoch per
+                          arrival, no coarsening (default 64)
   --availability <a>      high | medium | low (default high)
   --per-model <bool>      simulate only: also print a per-model table
 
@@ -61,6 +66,14 @@ FLAGS (replay):
 FLAGS (gen-trace):
   --out <path>            output CSV path
   --model / --trace / --rps / --duration / --strict-frac / --seed as above
+
+FLAGS (scenario list / scenario run):
+  --dir <path>            scenario catalog directory (default scenarios)
+  --name <scenario>       run only the scenario with this name
+  --smoke <bool>          scale request rates to 25% (never durations;
+                          scripted evictions stay at absolute times)
+  --out <path>            write one <name>.json report card per scenario
+                          into this directory
 ";
 
 /// Flags shared by `simulate` and `compare`.
@@ -220,18 +233,18 @@ fn build_run(args: &Args) -> Result<(ClusterConfig, TraceConfig), ArgError> {
     config.availability = parse_availability(args.get("availability").unwrap_or("high"))?;
     config.shards = args.get_or("shards", 1usize)?;
     if config.shards == 0 {
-        return Err(ArgError("--shards must be at least 1".into()));
-    }
-    config.shard_threads = args.get_or("shard-threads", 1usize)?;
-    if config.shard_threads == 0 {
-        return Err(ArgError("--shard-threads must be at least 1".into()));
-    }
-    config.max_epoch_arrivals = args.get_or("max-epoch-arrivals", 64u64)?;
-    if config.max_epoch_arrivals == 0 {
         return Err(ArgError(
-            "--max-epoch-arrivals must be at least 1 (1 = one epoch per arrival)".into(),
+            "--shards must be at least 1 (1 = the sequential engine; there is no zero-shard run)"
+                .into(),
         ));
     }
+    // 0 = auto (the machine's available parallelism); any positive value
+    // is an explicit thread budget including the coordinator.
+    config.shard_threads = args.get_or("shard-threads", 1usize)?;
+    // 0 and 1 both mean one epoch per arrival (no coarsening); the
+    // engine clamps internally, so normalize here to keep the config
+    // explicit about the semantics.
+    config.max_epoch_arrivals = args.get_or("max-epoch-arrivals", 64u64)?.max(1);
     Ok((config, trace))
 }
 
@@ -364,14 +377,17 @@ pub fn replay(args: &Args) -> Result<(), ArgError> {
     let path = args
         .get("trace-file")
         .ok_or_else(|| ArgError("replay requires --trace-file <path>".into()))?;
-    let file =
-        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
-    let trace =
-        Trace::read_csv(std::io::BufReader::new(file)).map_err(|e| ArgError(e.to_string()))?;
+    let trace = Trace::read_csv_file(path).map_err(|e| ArgError(e.to_string()))?;
     let mut config = ClusterConfig::paper_default();
     config.workers = args.get_or("workers", 8usize)?;
+    if config.workers == 0 {
+        return Err(ArgError("--workers must be at least 1".into()));
+    }
     config.seed = args.get_or("seed", 42u64)?;
     config.slo_multiplier = args.get_or("slo-mult", 3.0)?;
+    if config.slo_multiplier < 1.0 {
+        return Err(ArgError("--slo-mult must be >= 1.0".into()));
+    }
     let scheme = parse_scheme(args.get("scheme").unwrap_or("protean"))?;
     println!(
         "  replaying {} requests over {}",
@@ -426,6 +442,96 @@ pub fn gen_trace(args: &Args) -> Result<(), ArgError> {
         trace.stats().strict
     );
     Ok(())
+}
+
+/// `scenario list` / `scenario run`: the declarative adversarial
+/// scenario catalog (see `scenarios/` and the scenario DSL docs).
+pub fn scenario(action: Option<&str>, args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["dir", "name", "smoke", "out"])?;
+    let dir = std::path::PathBuf::from(args.get("dir").unwrap_or("scenarios"));
+    let files =
+        protean_experiments::scenario::catalog_files(&dir).map_err(|e| ArgError(e.to_string()))?;
+    if files.is_empty() {
+        return Err(ArgError(format!(
+            "no scenario files (*.toml) found in {}",
+            dir.display()
+        )));
+    }
+    let specs: Vec<(
+        std::path::PathBuf,
+        protean_experiments::scenario::ScenarioSpec,
+    )> = files
+        .iter()
+        .map(|f| {
+            protean_experiments::scenario::load_file(f)
+                .map(|s| (f.clone(), s))
+                .map_err(|e| ArgError(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    match action {
+        Some("list") => {
+            let rows: Vec<Vec<String>> = specs
+                .iter()
+                .map(|(f, s)| {
+                    vec![
+                        s.name.clone(),
+                        f.file_name()
+                            .unwrap_or_default()
+                            .to_string_lossy()
+                            .into_owned(),
+                        s.description.clone(),
+                    ]
+                })
+                .collect();
+            table(&["scenario", "file", "description"], &rows);
+            Ok(())
+        }
+        Some("run") => {
+            let smoke: bool = args.get_or("smoke", false)?;
+            let only = args.get("name");
+            let out_dir = args.get("out").map(std::path::PathBuf::from);
+            if let Some(d) = &out_dir {
+                std::fs::create_dir_all(d)
+                    .map_err(|e| ArgError(format!("cannot create {}: {e}", d.display())))?;
+            }
+            let selected: Vec<_> = specs
+                .iter()
+                .filter(|(_, s)| only.is_none_or(|n| s.name == n))
+                .collect();
+            if selected.is_empty() {
+                return Err(ArgError(format!(
+                    "no scenario named '{}' in {} (run `scenario list`)",
+                    only.unwrap_or_default(),
+                    dir.display()
+                )));
+            }
+            let mut outcomes = Vec::with_capacity(selected.len());
+            for (file, spec) in selected {
+                let base = file.parent().unwrap_or(std::path::Path::new("."));
+                let outcome = protean_experiments::scenario::run(spec, base, smoke)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                if let Some(d) = &out_dir {
+                    let path = d.join(format!("{}.json", spec.name));
+                    std::fs::write(&path, outcome.to_json())
+                        .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+                }
+                outcomes.push(outcome);
+            }
+            let headers = protean_experiments::scenario::card_headers();
+            let rows: Vec<Vec<String>> = outcomes.iter().map(|o| o.table_row()).collect();
+            table(&headers, &rows);
+            println!(
+                "\n  {} scenario(s) green: sequential and sharded digests identical, audits clean{}",
+                outcomes.len(),
+                if smoke { " (smoke rates)" } else { "" }
+            );
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!(
+            "unknown scenario action '{other}' (list | run)"
+        ))),
+        None => Err(ArgError("scenario requires an action: list | run".into())),
+    }
 }
 
 #[cfg(test)]
@@ -550,7 +656,41 @@ mod tests {
         )
         .unwrap();
         replay(&a).unwrap();
+
+        // A malformed trace comes back as an ArgError naming the file and
+        // line — not a panic deep inside the reader.
+        let bad = dir.join("bad.csv");
+        std::fs::write(&bad, "arrival_us,model,strict\n100,resnet50\n").unwrap();
+        let toks = format!("replay --trace-file {}", bad.display());
+        let a = Args::parse(
+            toks.split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let err = replay(&a).unwrap_err();
+        assert!(err.0.contains("bad.csv"), "no path in '{}'", err.0);
+        assert!(err.0.contains("line 2"), "no line in '{}'", err.0);
+
+        // Nonsensical replay flags are rejected up front.
+        let toks = format!("replay --trace-file {} --workers 0", path.display());
+        let a = Args::parse(
+            toks.split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(replay(&a).unwrap_err().0.contains("--workers"));
+        let toks = format!("replay --trace-file {} --slo-mult 0.5", path.display());
+        let a = Args::parse(
+            toks.split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(replay(&a).unwrap_err().0.contains("--slo-mult"));
         std::fs::remove_file(path).ok();
+        std::fs::remove_file(bad).ok();
     }
 
     #[test]
@@ -574,15 +714,28 @@ mod tests {
         assert_eq!(config.shard_threads, 1);
         assert_eq!(config.max_epoch_arrivals, 64);
 
-        for bad in [
-            "simulate --shards 0",
-            "simulate --shard-threads 0",
-            "simulate --max-epoch-arrivals 0",
-        ] {
-            let a =
-                Args::parse(bad.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap();
-            assert!(build_run(&a).is_err(), "{bad} must be rejected");
-        }
+        // --shards 0 is nonsense (no zero-shard run) and the message
+        // says so; --shard-threads 0 means auto; --max-epoch-arrivals 0
+        // is normalized to the explicit per-arrival cap of 1.
+        let a = Args::parse(
+            "simulate --shards 0"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let err = build_run(&a).unwrap_err();
+        assert!(err.0.contains("zero-shard"), "{err}");
+        let a = Args::parse(
+            "simulate --shard-threads 0 --max-epoch-arrivals 0"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (config, _) = build_run(&a).unwrap();
+        assert_eq!(config.shard_threads, 0, "0 = auto must be accepted");
+        assert_eq!(config.max_epoch_arrivals, 1, "0 normalizes to per-arrival");
     }
 
     #[test]

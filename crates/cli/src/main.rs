@@ -17,6 +17,19 @@ use args::Args;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `scenario` takes a second positional (the action) the flag parser
+    // would otherwise reject; peel both off before parsing flags.
+    if raw.first().map(String::as_str) == Some("scenario") {
+        let action = raw.get(1).filter(|a| !a.starts_with("--")).cloned();
+        let rest = raw[1 + usize::from(action.is_some())..].to_vec();
+        let outcome =
+            Args::parse(rest).and_then(|args| commands::scenario(action.as_deref(), &args));
+        if let Err(e) = outcome {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let parsed = match Args::parse(raw) {
         Ok(a) => a,
         Err(e) => {
@@ -37,7 +50,7 @@ fn main() {
             Ok(())
         }
         Some(other) => Err(args::ArgError(format!(
-            "unknown command '{other}' (simulate | compare | replay | gen-trace | catalog | geometries | help)"
+            "unknown command '{other}' (simulate | compare | replay | gen-trace | catalog | geometries | scenario | help)"
         ))),
     };
     if let Err(e) = outcome {

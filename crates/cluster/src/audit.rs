@@ -89,6 +89,9 @@ pub(crate) struct Auditor {
     /// Lifecycle stage per in-flight batch (finished batches are
     /// dropped to bound memory).
     stages: HashMap<BatchId, Stage>,
+    /// Ledger misuse tally at the last sweep, so each absorbed misuse
+    /// event is reported once rather than on every subsequent sweep.
+    last_ledger_misuse: u64,
 }
 
 impl Auditor {
@@ -335,6 +338,20 @@ impl Auditor {
                 ),
             );
         }
+        // Ledger conservation: the engine must never hit the ledger's
+        // saturating misuse edges (double open, close of a non-open VM,
+        // close before open). Release builds silently absorb those, so
+        // the auditor flags each increase of the misuse tally.
+        if ledger.misuse_events() > self.last_ledger_misuse {
+            self.violation(
+                now,
+                format!(
+                    "ledger absorbed {} misuse event(s) (double open / bad close)",
+                    ledger.misuse_events() - self.last_ledger_misuse
+                ),
+            );
+            self.last_ledger_misuse = ledger.misuse_events();
+        }
     }
 
     /// End-of-run reconciliation of the epoch-coarsening counter triad
@@ -537,5 +554,26 @@ mod tests {
             protean_spot::PricingTable::paper_table3(),
             protean_spot::Provider::Aws,
         )
+    }
+
+    /// A ledger that absorbed a misuse edge (here: close of a VM that was
+    /// never opened) is a violation — reported once, not on every sweep.
+    #[test]
+    fn ledger_misuse_is_flagged_once() {
+        let mut ledger = dummy_ledger();
+        // Debug builds panic on the misuse edge; catch it so the test
+        // exercises the same post-misuse state release builds reach.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ledger.close(protean_spot::VmId(99), SimTime::ZERO);
+        }));
+        assert_eq!(ledger.misuse_events(), 1);
+        let mut a = Auditor::new(true, 1);
+        let index = DispatchIndex::new(0);
+        a.check_cluster(SimTime::ZERO, &[], &ledger, &index);
+        assert_eq!(a.violation_count, 1);
+        assert!(a.violations[0].contains("misuse"));
+        // Same tally on the next sweep: no new violation.
+        a.check_cluster(SimTime::ZERO, &[], &ledger, &index);
+        assert_eq!(a.violation_count, 1);
     }
 }

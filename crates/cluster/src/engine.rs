@@ -22,7 +22,7 @@ use crate::worker::{RunningBatch, Worker, WorkerStatus};
 
 /// Everything configurable about a simulation run. Scheduling policy is
 /// *not* here — that is the [`crate::SchemeBuilder`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Worker nodes (one GPU each). Paper: 8.
     pub workers: usize,

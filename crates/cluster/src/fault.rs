@@ -36,7 +36,7 @@ use protean_sim::{SimDuration, SimTime};
 pub use protean_spot::SpotOracle;
 
 /// One scripted eviction notice, armed until consumed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct ScriptedEviction {
     worker: usize,
     /// The notice fires at the worker's first revocation check at or
@@ -49,9 +49,13 @@ struct ScriptedEviction {
 /// A [`SpotOracle`] that follows a script instead of rolling dice.
 ///
 /// Revocations: [`ScriptedMarket::evict`] arms one eviction notice per
-/// call; a worker's revocation check consumes the earliest-armed entry
-/// matching `(worker, now >= at)`. Checks with no matching entry return
-/// no notice.
+/// call; a worker's revocation check consumes the matching entry
+/// (`worker, now >= at`) with the **earliest `at`**, breaking ties by
+/// arming order. Checks with no matching entry return no notice. The
+/// selection depends only on the script and the check's `(now, worker)`,
+/// never on global check interleaving, so the sequential and sharded
+/// engines — which visit workers in different orders — consume
+/// identical scripts identically.
 ///
 /// Acquisitions: each spot-acquisition roll pops the front of the
 /// grant/deny queue ([`ScriptedMarket::deny_next`] /
@@ -60,7 +64,7 @@ struct ScriptedEviction {
 /// Note that initial cluster provisioning under a spot-eligible
 /// procurement policy rolls one acquisition per worker (in worker
 /// order) at `t = 0`, consuming the head of the queue.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScriptedMarket {
     evictions: Vec<ScriptedEviction>,
     grants: VecDeque<bool>,
@@ -120,10 +124,18 @@ impl ScriptedMarket {
 impl SpotOracle for ScriptedMarket {
     fn roll_revocation(&mut self, now: SimTime, worker: usize) -> Option<SimDuration> {
         self.revocation_checks += 1;
+        // Among armed entries for this worker that are due, consume the
+        // one with the earliest `at` (arming order breaks ties). The
+        // first due *position* is not enough: a late-armed entry with an
+        // earlier `at` must fire before an early-armed one that is
+        // merely also due by `now`.
         let hit = self
             .evictions
             .iter()
-            .position(|e| e.worker == worker && now >= e.at)?;
+            .enumerate()
+            .filter(|(_, e)| e.worker == worker && now >= e.at)
+            .min_by_key(|(i, e)| (e.at, *i))
+            .map(|(i, _)| i)?;
         Some(self.evictions.remove(hit).lead)
     }
 
@@ -157,6 +169,49 @@ mod tests {
         );
         assert_eq!(m.pending_evictions(), 0);
         assert_eq!(m.revocation_checks(), 5);
+    }
+
+    /// Regression: an entry armed later but due earlier must fire first.
+    /// The pre-fix code consumed the first *armed* due entry, so a check
+    /// late enough to make both due returned the wrong lead.
+    #[test]
+    fn earliest_at_wins_regardless_of_arming_order() {
+        let mut m = ScriptedMarket::new()
+            .evict(0, SimTime::from_secs(10.0), SimDuration::from_secs(60.0))
+            .evict(0, SimTime::from_secs(5.0), SimDuration::from_secs(30.0));
+        // At t=20 both entries are due; the at=5 one (armed second) wins.
+        assert_eq!(
+            m.roll_revocation(SimTime::from_secs(20.0), 0),
+            Some(SimDuration::from_secs(30.0))
+        );
+        assert_eq!(
+            m.roll_revocation(SimTime::from_secs(20.0), 0),
+            Some(SimDuration::from_secs(60.0))
+        );
+        assert_eq!(m.pending_evictions(), 0);
+    }
+
+    /// Identical `at` on the same worker: arming order breaks the tie,
+    /// and the documented order holds on a fresh clone (the scenario
+    /// runner clones one script into the sequential and sharded arms).
+    #[test]
+    fn identical_at_resolves_in_arming_order_across_clones() {
+        let script = ScriptedMarket::new()
+            .evict(3, SimTime::from_secs(10.0), SimDuration::from_secs(40.0))
+            .evict(3, SimTime::from_secs(10.0), SimDuration::from_secs(20.0));
+        let mut a = script.clone();
+        let mut b = script;
+        for m in [&mut a, &mut b] {
+            assert_eq!(
+                m.roll_revocation(SimTime::from_secs(10.0), 3),
+                Some(SimDuration::from_secs(40.0))
+            );
+            assert_eq!(
+                m.roll_revocation(SimTime::from_secs(10.0), 3),
+                Some(SimDuration::from_secs(20.0))
+            );
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod golden;
 pub mod harness;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod schemes;
 pub mod setup;
 

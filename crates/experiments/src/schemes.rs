@@ -15,6 +15,25 @@ pub fn primary() -> Vec<Box<dyn SchemeBuilder>> {
     ]
 }
 
+/// Resolves a scheme by its CLI/scenario-file name. `None` for an
+/// unknown name — callers own the error message (and should list
+/// `protean | oracle | molecule | infless | naive | migonly | mpsmig |
+/// smart | gpulet` in it).
+pub fn by_name(name: &str) -> Option<Box<dyn SchemeBuilder>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "protean" => Box::new(ProteanBuilder::paper()),
+        "oracle" => Box::new(ProteanBuilder::oracle()),
+        "molecule" => Box::new(Baseline::MoleculeBeta),
+        "infless" | "llama" => Box::new(Baseline::InflessLlama),
+        "naive" => Box::new(Baseline::NaiveSlicing),
+        "migonly" => Box::new(Baseline::MigOnly),
+        "mpsmig" => Box::new(Baseline::MpsMigEven),
+        "smart" => Box::new(Baseline::SmartMpsMig),
+        "gpulet" => Box::new(Baseline::Gpulet),
+        _ => return None,
+    })
+}
+
 /// The §2.2 motivational line-up (Fig. 2): No MPS or MIG, MPS Only,
 /// MIG Only, MPS+MIG, and the 'Smart' MPS+MIG straw man.
 pub fn motivational() -> Vec<Box<dyn SchemeBuilder>> {

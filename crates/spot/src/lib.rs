@@ -336,6 +336,7 @@ pub struct VmLedger {
     provider: Provider,
     entries: Vec<LedgerEntry>,
     next_id: u64,
+    misuse_events: u64,
 }
 
 impl VmLedger {
@@ -346,6 +347,7 @@ impl VmLedger {
             provider,
             entries: Vec::new(),
             next_id: 0,
+            misuse_events: 0,
         }
     }
 
@@ -358,14 +360,22 @@ impl VmLedger {
 
     /// Starts billing `vm` at `now`.
     ///
+    /// Opening a VM that is already open is caller misuse: it would
+    /// double-bill the same machine. Debug builds panic; release builds
+    /// ignore the duplicate open, record it in [`VmLedger::misuse_events`],
+    /// and keep the original entry so cost stays conservative.
+    ///
     /// # Panics
     ///
-    /// Panics if `vm` is already open.
+    /// Panics in debug builds if `vm` is already open.
     pub fn open(&mut self, vm: VmId, tier: VmTier, now: SimTime) {
-        assert!(
-            !self.entries.iter().any(|e| e.vm == vm && e.ended.is_none()),
-            "VM {vm:?} is already open"
-        );
+        if self.entries.iter().any(|e| e.vm == vm && e.ended.is_none()) {
+            // Tally before asserting so the count survives a caught
+            // debug panic identically to the release no-op.
+            self.misuse_events += 1;
+            debug_assert!(false, "VM {vm:?} is already open");
+            return;
+        }
         self.entries.push(LedgerEntry {
             vm,
             tier,
@@ -376,16 +386,44 @@ impl VmLedger {
 
     /// Stops billing `vm` at `now`.
     ///
+    /// Closing a VM with no open entry (unknown id, or already closed) is
+    /// caller misuse. Debug builds panic; release builds ignore the close
+    /// and record it in [`VmLedger::misuse_events`]. A close timestamped
+    /// before the matching open is clamped to the open time, so the entry
+    /// can never bill a negative interval.
+    ///
     /// # Panics
     ///
-    /// Panics if `vm` has no open entry.
+    /// Panics in debug builds if `vm` has no open entry or `now` precedes
+    /// its open time.
     pub fn close(&mut self, vm: VmId, now: SimTime) {
-        let entry = self
+        let Some(entry) = self
             .entries
             .iter_mut()
             .find(|e| e.vm == vm && e.ended.is_none())
-            .unwrap_or_else(|| panic!("VM {vm:?} is not open"));
+        else {
+            self.misuse_events += 1;
+            debug_assert!(false, "VM {vm:?} is not open");
+            return;
+        };
+        if now < entry.started {
+            let started = entry.started;
+            entry.ended = Some(started);
+            self.misuse_events += 1;
+            debug_assert!(
+                false,
+                "VM {vm:?} closed at {now} before it opened at {started}"
+            );
+            return;
+        }
         entry.ended = Some(now);
+    }
+
+    /// How many misuse edges (double open, close of a non-open VM, close
+    /// before open) release builds have saturated away. Always 0 on a
+    /// correctly driven ledger; the auditor flags any increase.
+    pub fn misuse_events(&self) -> u64 {
+        self.misuse_events
     }
 
     /// Dollar cost accrued by `tier` VMs up to `now`.
@@ -524,6 +562,7 @@ mod tests {
         assert!((l.total_cost(now) - od - spot).abs() < 1e-12);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic]
     fn double_open_panics() {
@@ -532,11 +571,63 @@ mod tests {
         l.open(VmId(0), VmTier::Spot, SimTime::ZERO);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic]
     fn close_unopened_panics() {
         let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
         l.close(VmId(3), SimTime::ZERO);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic]
+    fn close_before_open_panics() {
+        let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+        l.open(VmId(0), VmTier::Spot, SimTime::from_secs(100.0));
+        l.close(VmId(0), SimTime::from_secs(50.0));
+    }
+
+    /// Release builds must not corrupt cost accounting on misuse: the
+    /// double open is ignored, the bogus close is ignored, the
+    /// close-before-open clamps to a zero-length interval, and every edge
+    /// is tallied in `misuse_events` for the auditor.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn misuse_saturates_and_is_counted_in_release() {
+        let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+        l.open(VmId(0), VmTier::Spot, SimTime::ZERO);
+        l.open(VmId(0), VmTier::OnDemand, SimTime::from_secs(10.0)); // double open
+        assert_eq!(l.misuse_events(), 1);
+        assert_eq!(l.open_count(), 1);
+        l.close(VmId(7), SimTime::from_secs(20.0)); // unknown id
+        assert_eq!(l.misuse_events(), 2);
+        l.close(VmId(0), SimTime::from_secs(3600.0));
+        l.close(VmId(0), SimTime::from_secs(7200.0)); // already closed
+        assert_eq!(l.misuse_events(), 3);
+        let spot_hour = 9.8318 / 8.0;
+        assert!((l.total_cost(SimTime::from_secs(7200.0)) - spot_hour).abs() < 1e-9);
+        // Close before open clamps the interval to zero length.
+        l.open(VmId(1), VmTier::Spot, SimTime::from_secs(8000.0));
+        l.close(VmId(1), SimTime::from_secs(7000.0));
+        assert_eq!(l.misuse_events(), 4);
+        assert_eq!(l.open_count(), 0);
+        assert!((l.total_cost(SimTime::from_secs(9000.0)) - spot_hour).abs() < 1e-9);
+    }
+
+    /// Cost queries at a `now` earlier than an entry's open must saturate
+    /// to zero, never bill a negative interval — in every build.
+    #[test]
+    fn cost_query_before_open_saturates() {
+        let mut l = VmLedger::new(PricingTable::paper_table3(), Provider::Aws);
+        l.open(VmId(0), VmTier::Spot, SimTime::from_secs(100.0));
+        assert_eq!(l.total_cost(SimTime::from_secs(50.0)), 0.0);
+        l.close(VmId(0), SimTime::from_secs(3700.0));
+        assert_eq!(l.total_cost(SimTime::from_secs(50.0)), 0.0);
+        // And a query between open and close bills only the elapsed part.
+        let partial = l.total_cost(SimTime::from_secs(1900.0));
+        assert!((partial - 0.5 * 9.8318 / 8.0).abs() < 1e-9);
+        assert_eq!(l.misuse_events(), 0);
     }
 
     proptest! {

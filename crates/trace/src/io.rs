@@ -25,6 +25,39 @@ pub enum ReadTraceError {
         /// What was wrong.
         reason: String,
     },
+    /// An error with the originating file path attached
+    /// ([`Trace::read_csv_file`] wraps every failure this way, so
+    /// user-facing messages name the file, not just the line).
+    InFile {
+        /// The path that was being read.
+        path: String,
+        /// The underlying failure.
+        source: Box<ReadTraceError>,
+    },
+}
+
+impl ReadTraceError {
+    /// Wraps the error with the file path it occurred in. Already
+    /// path-annotated errors are left untouched (the innermost path is
+    /// the one that was actually being read).
+    pub fn in_file(self, path: &std::path::Path) -> ReadTraceError {
+        match self {
+            e @ ReadTraceError::InFile { .. } => e,
+            e => ReadTraceError::InFile {
+                path: path.display().to_string(),
+                source: Box::new(e),
+            },
+        }
+    }
+
+    /// The 1-based line the error points at, if it is a parse error.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ReadTraceError::Parse { line, .. } => Some(*line),
+            ReadTraceError::InFile { source, .. } => source.line(),
+            ReadTraceError::Io(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for ReadTraceError {
@@ -34,11 +67,22 @@ impl fmt::Display for ReadTraceError {
             ReadTraceError::Parse { line, reason } => {
                 write!(f, "trace line {line}: {reason}")
             }
+            ReadTraceError::InFile { path, source } => {
+                write!(f, "{path}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for ReadTraceError {}
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse { .. } => None,
+            ReadTraceError::InFile { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
 
 impl From<std::io::Error> for ReadTraceError {
     fn from(e: std::io::Error) -> Self {
@@ -144,6 +188,21 @@ impl Trace {
         let duration = SimDuration::from_secs(last.as_secs_f64().ceil().max(1.0));
         Ok(Trace::from_parts(requests, duration))
     }
+
+    /// Opens `path` and reads it with [`Trace::read_csv`], annotating
+    /// every failure — including the open itself — with the file path,
+    /// so a malformed row in a user-authored trace reports
+    /// `<path>: trace line N: <reason>` instead of a bare line number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError::InFile`] wrapping the underlying I/O
+    /// or parse error.
+    pub fn read_csv_file<P: AsRef<std::path::Path>>(path: P) -> Result<Trace, ReadTraceError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| ReadTraceError::Io(e).in_file(path))?;
+        Trace::read_csv(std::io::BufReader::new(file)).map_err(|e| e.in_file(path))
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +261,51 @@ mod tests {
         let csv = format!("{CSV_HEADER}\n200,resnet50,1\n100,resnet50,0\n");
         let err = Trace::read_csv(csv.as_bytes()).unwrap_err();
         assert!(matches!(err, ReadTraceError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn file_errors_carry_the_path_and_line() {
+        let dir = std::env::temp_dir().join("protean_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.csv");
+        // A truncated row: the strict field is missing entirely.
+        std::fs::write(
+            &path,
+            format!("{CSV_HEADER}\n100,resnet50,1\n200,resnet50\n"),
+        )
+        .unwrap();
+        let err = Trace::read_csv_file(&path).unwrap_err();
+        assert_eq!(err.line(), Some(3));
+        let msg = err.to_string();
+        assert!(msg.contains("truncated.csv"), "no path in '{msg}'");
+        assert!(msg.contains("line 3"), "no line in '{msg}'");
+        assert!(msg.contains("missing strict"), "no reason in '{msg}'");
+        // A missing file reports the path too.
+        let gone = dir.join("nonexistent.csv");
+        let err = Trace::read_csv_file(&gone).unwrap_err();
+        assert!(err.line().is_none());
+        assert!(err.to_string().contains("nonexistent.csv"));
+        // A well-formed file round-trips through the path API.
+        let ok = dir.join("ok.csv");
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        std::fs::write(&ok, &buf).unwrap();
+        let back = Trace::read_csv_file(&ok).unwrap();
+        assert_eq!(back.requests(), trace.requests());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_file_wrapping_is_idempotent() {
+        let err = ReadTraceError::Parse {
+            line: 4,
+            reason: "boom".into(),
+        }
+        .in_file(std::path::Path::new("a.csv"))
+        .in_file(std::path::Path::new("b.csv"));
+        // The innermost path — the file actually read — wins.
+        assert_eq!(err.to_string(), "a.csv: trace line 4: boom");
     }
 
     #[test]

@@ -104,6 +104,31 @@ pub enum TraceShape {
         /// ON fraction of each period, in `(0, 1]`.
         duty: f64,
     },
+    /// A base profile with flash-crowd bursts superimposed: λ(t) is the
+    /// base shape's rate plus the sum of every burst window covering
+    /// `t`. This is the diurnal-plus-flash-crowd composition the
+    /// adversarial scenario catalog drives (wiki base, pulse-like burst
+    /// windows), realised as one non-homogeneous Poisson process so the
+    /// burst arrivals interleave with — rather than replace — the base
+    /// traffic.
+    Overlay {
+        /// The underlying profile the bursts ride on.
+        base: Box<TraceShape>,
+        /// Burst windows, additive and allowed to overlap.
+        bursts: Vec<BurstWindow>,
+    },
+}
+
+/// One additive flash-crowd burst window of [`TraceShape::Overlay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstWindow {
+    /// Burst onset.
+    pub start: SimTime,
+    /// Burst length.
+    pub duration: SimDuration,
+    /// Extra arrival rate, added to the base profile while the window
+    /// is active (requests per second, must be positive).
+    pub add_rps: f64,
 }
 
 impl TraceShape {
@@ -140,6 +165,14 @@ impl TraceShape {
             low_rps: 0.0,
             period,
             duty: 0.5,
+        }
+    }
+
+    /// `base` with `bursts` superimposed (see [`TraceShape::Overlay`]).
+    pub fn overlay(base: TraceShape, bursts: Vec<BurstWindow>) -> Self {
+        TraceShape::Overlay {
+            base: Box::new(base),
+            bursts,
         }
     }
 }
@@ -580,6 +613,11 @@ enum RateKind {
         period_secs: f64,
         on_secs: f64,
     },
+    Overlay {
+        base: Box<RateProfile>,
+        /// `(start_secs, end_secs, add_rps)` per burst window.
+        bursts: Vec<(f64, f64, f64)>,
+    },
 }
 
 impl RateProfile {
@@ -679,6 +717,41 @@ impl RateProfile {
                     max_rate: high_rps.max(*low_rps),
                 }
             }
+            TraceShape::Overlay { base, bursts } => {
+                let base = RateProfile::new(base, duration, rng);
+                let windows: Vec<(f64, f64, f64)> = bursts
+                    .iter()
+                    .map(|b| {
+                        assert!(b.add_rps > 0.0, "burst add_rps must be positive");
+                        let start = b.start.as_secs_f64();
+                        let len = b.duration.as_secs_f64();
+                        assert!(len > 0.0, "burst duration must be positive");
+                        (start, start + len, b.add_rps)
+                    })
+                    .collect();
+                // λ_max = base max + the largest sum of simultaneously
+                // active bursts (boundary sweep over window edges; the
+                // thinning bound must dominate λ(t) everywhere).
+                let mut edges: Vec<(f64, f64)> = Vec::with_capacity(windows.len() * 2);
+                for &(s, e, add) in &windows {
+                    edges.push((s, add));
+                    edges.push((e, -add));
+                }
+                edges.sort_by(|a, b| a.partial_cmp(b).expect("finite burst edges"));
+                let (mut active, mut peak_extra) = (0.0f64, 0.0f64);
+                for (_, delta) in edges {
+                    active += delta;
+                    peak_extra = peak_extra.max(active);
+                }
+                let max_rate = base.max_rate + peak_extra;
+                RateProfile {
+                    kind: RateKind::Overlay {
+                        base: Box::new(base),
+                        bursts: windows,
+                    },
+                    max_rate,
+                }
+            }
         }
     }
 
@@ -710,6 +783,14 @@ impl RateProfile {
                 } else {
                     *low
                 }
+            }
+            RateKind::Overlay { base, bursts } => {
+                let extra: f64 = bursts
+                    .iter()
+                    .filter(|(s, e, _)| (*s..*e).contains(&t_secs))
+                    .map(|(_, _, add)| add)
+                    .sum();
+                base.rate_at(t_secs) + extra
             }
         }
     }
@@ -877,6 +958,77 @@ mod tests {
     }
 
     #[test]
+    fn overlay_bursts_raise_the_rate_only_inside_their_windows() {
+        // Flat 200 rps base with a 1000 rps burst over [20, 40): the
+        // burst window must run ~6x hotter than the rest of the trace.
+        let shape = TraceShape::overlay(
+            TraceShape::constant(200.0),
+            vec![BurstWindow {
+                start: SimTime::from_secs(20.0),
+                duration: SimDuration::from_secs(20.0),
+                add_rps: 1000.0,
+            }],
+        );
+        let trace = base_config(shape, 60.0).generate(&RngFactory::new(17));
+        let in_burst = |r: &Request| (20.0..40.0).contains(&r.arrival.as_secs_f64());
+        let burst = trace.requests().iter().filter(|r| in_burst(r)).count() as f64;
+        let outside = trace.requests().iter().filter(|r| !in_burst(r)).count() as f64;
+        let burst_rps = burst / 20.0;
+        let outside_rps = outside / 40.0;
+        assert!(
+            (burst_rps - 1200.0).abs() < 120.0,
+            "burst window rate {burst_rps}"
+        );
+        assert!(
+            (outside_rps - 200.0).abs() < 40.0,
+            "outside-window rate {outside_rps}"
+        );
+    }
+
+    #[test]
+    fn overlapping_bursts_stack_additively() {
+        // Two 300 rps bursts overlapping on [10, 15): the overlap runs
+        // at base + 600.
+        let shape = TraceShape::overlay(
+            TraceShape::constant(100.0),
+            vec![
+                BurstWindow {
+                    start: SimTime::from_secs(5.0),
+                    duration: SimDuration::from_secs(10.0),
+                    add_rps: 300.0,
+                },
+                BurstWindow {
+                    start: SimTime::from_secs(10.0),
+                    duration: SimDuration::from_secs(10.0),
+                    add_rps: 300.0,
+                },
+            ],
+        );
+        let trace = base_config(shape, 30.0).generate(&RngFactory::new(23));
+        let overlap = trace
+            .requests()
+            .iter()
+            .filter(|r| (10.0..15.0).contains(&r.arrival.as_secs_f64()))
+            .count() as f64
+            / 5.0;
+        assert!((overlap - 700.0).abs() < 120.0, "overlap rate {overlap}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlay_rejects_non_positive_burst_rate() {
+        let shape = TraceShape::overlay(
+            TraceShape::constant(100.0),
+            vec![BurstWindow {
+                start: SimTime::ZERO,
+                duration: SimDuration::from_secs(1.0),
+                add_rps: 0.0,
+            }],
+        );
+        let _ = base_config(shape, 10.0).generate(&RngFactory::new(1));
+    }
+
+    #[test]
     fn strict_fraction_respected() {
         let mut cfg = base_config(TraceShape::constant(1000.0), 30.0);
         cfg.strict_fraction = 0.75;
@@ -959,7 +1111,7 @@ mod tests {
         #[test]
         fn prop_trace_stream_matches_generate_element_for_element(
             seed in 0u64..1000,
-            shape_kind in 0usize..4,
+            shape_kind in 0usize..5,
             strict_pct in 0usize..5,
             batch_arrivals in proptest::bool::ANY,
         ) {
@@ -967,7 +1119,22 @@ mod tests {
                 0 => TraceShape::constant(300.0),
                 1 => TraceShape::wiki(400.0),
                 2 => TraceShape::twitter(600.0),
-                _ => TraceShape::pulse(800.0, SimDuration::from_secs(4.0)),
+                3 => TraceShape::pulse(800.0, SimDuration::from_secs(4.0)),
+                _ => TraceShape::overlay(
+                    TraceShape::wiki(300.0),
+                    vec![
+                        BurstWindow {
+                            start: SimTime::from_secs(3.0),
+                            duration: SimDuration::from_secs(4.0),
+                            add_rps: 700.0,
+                        },
+                        BurstWindow {
+                            start: SimTime::from_secs(5.0),
+                            duration: SimDuration::from_secs(6.0),
+                            add_rps: 400.0,
+                        },
+                    ],
+                ),
             };
             let mut cfg = base_config(shape, 15.0);
             cfg.strict_fraction = [0.0, 0.25, 0.5, 0.75, 1.0][strict_pct];

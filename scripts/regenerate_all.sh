@@ -21,6 +21,7 @@ echo "threads: ${PROTEAN_THREADS:-auto (available parallelism)}"
 START_EPOCH=$(date +%s)
 
 cargo build --release -p protean-experiments
+cargo build --release -p protean-cli
 
 BINARIES=(
   fig02_motivation
@@ -106,6 +107,13 @@ echo ">>> bench_pr7"
 # written to results/bench_pr8.json.
 echo ">>> bench_pr8"
 ./target/release/bench_pr8 30 "$SEED" >"$OUT/bench_pr8.txt" 2>/dev/null
+
+# Adversarial scenario catalog at full rates: every scenario runs both
+# engine arms (digest equality asserted) and writes a JSON report card
+# per scenario to results/scenarios/.
+echo ">>> scenario catalog"
+require_bin protean-cli
+./target/release/protean-cli scenario run --out "$OUT/scenarios" >"$OUT/scenarios.txt" 2>/dev/null
 
 TOTAL=$(($(date +%s) - START_EPOCH))
 echo "All outputs written to $OUT/"

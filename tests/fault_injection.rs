@@ -274,6 +274,51 @@ fn audited_golden_spot_run_is_bit_identical_and_clean() {
     assert!(!plain.audit.enabled);
 }
 
+/// Tie regression for the scenario catalog's storm scripts: two
+/// evictions at the identical `SimTime` on *different* workers, with
+/// leads chosen so both eviction finals land exactly on a
+/// boot-completion / revocation-check tick (cold_start = vm_startup =
+/// revocation_check = 5 s, notices at the t=10 s checks, leads 5 s ⇒
+/// finals at t=15 s, colliding with boots armed at t=10 s). The run
+/// must resolve in one documented deterministic order: identical
+/// digests across shards ∈ {1, 4}, clean audit, both evictions taken.
+#[test]
+fn simultaneous_evictions_resolve_identically_across_shards() {
+    let make = |shards: usize| {
+        let mut config = spot_config();
+        config.workers = 4;
+        config.prewarm_containers = 0; // boots in flight at the collision tick
+        config.cold_start = SimDuration::from_secs(5.0);
+        config.shards = shards;
+        config.shard_threads = 2;
+        let mut market = ScriptedMarket::new()
+            .evict(1, SimTime::from_secs(10.0), SimDuration::from_secs(5.0))
+            .evict(2, SimTime::from_secs(10.0), SimDuration::from_secs(5.0));
+        let t = trace(300.0, 40.0);
+        let result = run_simulation_with_oracle(&config, &ProteanBuilder::paper(), &t, &mut market);
+        assert_eq!(
+            market.pending_evictions(),
+            0,
+            "a scripted eviction never fired"
+        );
+        result
+    };
+    let sequential = make(1);
+    let sharded = make(4);
+    assert_eq!(sequential.cost.evictions, 2);
+    assert_eq!(
+        golden::digest(&sequential),
+        golden::digest(&sharded),
+        "simultaneous evictions resolved differently under sharding"
+    );
+    assert!(
+        sequential.audit.is_clean(),
+        "{:?}",
+        sequential.audit.violations
+    );
+    assert!(sharded.audit.is_clean(), "{:?}", sharded.audit.violations);
+}
+
 /// `audit_every_n` sampling must thin the full-state sweeps without
 /// changing anything observable: a sampled run digests bit-identically
 /// to the every-event run, stays clean, and performs roughly 1/n of the
