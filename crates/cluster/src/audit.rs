@@ -356,10 +356,13 @@ impl Auditor {
 
     /// End-of-run reconciliation of the epoch-coarsening counter triad
     /// (sharded engine only; the sequential engine peels no runs). Every
-    /// arrival is either the head of a run (one epoch) or coalesced into
-    /// one, and every run ends for exactly one recorded cause, so:
+    /// dispatch-shaped event — a gateway arrival or a `WindowExpire`
+    /// batch-window dispatch — is either the head of a run (one epoch)
+    /// or coalesced into one, and every run ends for exactly one
+    /// recorded cause, so:
     ///
-    /// * `epochs + coalesced_arrivals == arrivals`, and
+    /// * `epochs + coalesced_arrivals + coalesced_expiries ==
+    ///   arrivals + expiries`, and
     /// * `run_cutoffs.total() == epochs`.
     ///
     /// A broken triad means a run was cut without attribution (or
@@ -372,12 +375,19 @@ impl Auditor {
         if !self.enabled {
             return;
         }
-        if stats.epochs + stats.coalesced_arrivals != stats.arrivals {
+        if stats.epochs + stats.coalesced_arrivals + stats.coalesced_expiries
+            != stats.arrivals + stats.expiries
+        {
             self.violation(
                 now,
                 format!(
-                    "epoch conservation broken: epochs {} + coalesced {} != arrivals {}",
-                    stats.epochs, stats.coalesced_arrivals, stats.arrivals
+                    "epoch conservation broken: epochs {} + coalesced arrivals {} \
+                     + coalesced expiries {} != arrivals {} + expiries {}",
+                    stats.epochs,
+                    stats.coalesced_arrivals,
+                    stats.coalesced_expiries,
+                    stats.arrivals,
+                    stats.expiries
                 ),
             );
         }
@@ -512,10 +522,13 @@ mod tests {
         let mut a = Auditor::new(true, 1);
         let stats = crate::engine::EngineStats {
             arrivals: 10,
-            epochs: 3,
+            expiries: 4,
+            epochs: 4,
             coalesced_arrivals: 7,
+            coalesced_expiries: 3,
             run_cutoffs: crate::engine::RunCutoffs {
                 serial_event: 1,
+                expiry_shard_conflict: 1,
                 max_arrivals: 1,
                 trace_end: 1,
                 ..Default::default()
@@ -534,8 +547,10 @@ mod tests {
         let mut a = Auditor::new(true, 1);
         let stats = crate::engine::EngineStats {
             arrivals: 10,
+            expiries: 2,
             epochs: 3,
-            coalesced_arrivals: 5, // 3 + 5 != 10
+            coalesced_arrivals: 5,
+            coalesced_expiries: 1, // 3 + 5 + 1 != 10 + 2
             run_cutoffs: crate::engine::RunCutoffs {
                 trace_end: 1, // total 1 != 3 epochs
                 ..Default::default()

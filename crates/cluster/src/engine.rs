@@ -161,6 +161,19 @@ pub struct ClusterConfig {
     /// Ignored by the sequential engine (`effective_shards() == 1`),
     /// which has no epochs.
     pub max_epoch_arrivals: u64,
+    /// Admit `WindowExpire` coordinator events into coarsened runs
+    /// alongside arrivals (the PR-10 extension of the run-peeling
+    /// contract). A window expiry is dispatch-shaped — it routes the
+    /// pending window batch through the same `DispatchIndex` path an
+    /// arrival uses — so it may join a run under the same two conflict
+    /// checks (key-order tie win against every other pending
+    /// coordinator event; no shard heap below its `EventKey`), with the
+    /// run cut at the first non-dispatch coordinator event or shard
+    /// conflict. Exactness is proven per member, so both settings are
+    /// bit-identical; `false` restores the PR-8 discipline where every
+    /// expiry is a singleton epoch (the differential arm). Ignored by
+    /// the sequential engine.
+    pub coalesce_window_expiries: bool,
 }
 
 impl ClusterConfig {
@@ -199,6 +212,7 @@ impl ClusterConfig {
             shards: 1,
             shard_threads: 0,
             max_epoch_arrivals: 64,
+            coalesce_window_expiries: true,
         }
     }
 
@@ -275,39 +289,67 @@ pub struct EngineStats {
     /// the drain pass that re-dispatched them (re-dispatch churn).
     pub backlog_requeued: u64,
     /// Requests dispatched at the gateway (arrivals at or before the
-    /// cutoff; the denominator of epochs-per-arrival).
+    /// cutoff; half of the dispatch-event denominator of
+    /// epochs-per-dispatch-event).
     pub arrivals: u64,
-    /// Arrival-run epochs the sharded coordinator started: each run
-    /// covers one or more consecutive arrivals whose intermediate
-    /// phases were proven empty. Per-arrival mode
-    /// (`max_epoch_arrivals <= 1`) records one epoch per arrival; the
-    /// sequential engine records zero (it has no epochs).
+    /// `WindowExpire` batch-window dispatches handled at or before the
+    /// cutoff (live and stale alike — staleness is a property of the
+    /// accumulator, not of the event having fired). The other half of
+    /// the dispatch-event denominator; counted identically by the
+    /// sequential and sharded engines.
+    pub expiries: u64,
+    /// Dispatch-run epochs the sharded coordinator started: each run
+    /// covers one or more consecutive dispatch-shaped events (arrivals
+    /// and, with [`ClusterConfig::coalesce_window_expiries`], window
+    /// expiries) whose intermediate phases were proven empty.
+    /// Per-arrival mode (`max_epoch_arrivals <= 1`) records one epoch
+    /// per dispatch event; the sequential engine records zero (it has
+    /// no epochs).
     pub epochs: u64,
     /// Arrivals absorbed into a running epoch beyond each run's first
-    /// (the barrier launches coarsening avoided). Conservation:
-    /// `epochs + coalesced_arrivals == arrivals`, audited at end of
-    /// run when [`ClusterConfig::audit`] is set.
+    /// member (the barrier launches coarsening avoided). Conservation:
+    /// `epochs + coalesced_arrivals + coalesced_expiries ==
+    /// arrivals + expiries`, audited at end of run when
+    /// [`ClusterConfig::audit`] is set.
     pub coalesced_arrivals: u64,
-    /// Why each arrival run ended, by cause. Every run is cut exactly
+    /// Window expiries absorbed into a running epoch beyond each run's
+    /// first member — the serial synchronizations the PR-10 expiry
+    /// admission eliminated. Zero when
+    /// [`ClusterConfig::coalesce_window_expiries`] is off (every expiry
+    /// is then a singleton epoch). Part of the conservation identity
+    /// above.
+    pub coalesced_expiries: u64,
+    /// Why each dispatch run ended, by cause. Every run is cut exactly
     /// once, so `run_cutoffs.total() == epochs` (also audited).
     pub run_cutoffs: RunCutoffs,
 }
 
-/// Per-cause accounting of arrival-run terminations in the sharded
+/// Per-cause accounting of dispatch-run terminations in the sharded
 /// coordinator (see [`EngineStats::run_cutoffs`]). The causes are
 /// mutually exclusive: the first one that fires ends the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunCutoffs {
-    /// A pending serial coordinator event (window expiry, monitor tick
-    /// — the reconfiguration trigger —, revocation check, eviction
+    /// A pending non-dispatch serial coordinator event (monitor tick —
+    /// the reconfiguration trigger —, revocation check, eviction
     /// finalisation, VM arrival, procurement retry) won the tie against
-    /// the next arrival, so the run must yield to it.
+    /// the next dispatch-shaped event, so the run must yield to it.
     pub serial_event: u64,
     /// Some shard held a pending worker-local event below the next
     /// arrival's bound: the intermediate phase would not be empty, so
     /// coalescing past it is not provably exact.
     pub shard_conflict: u64,
-    /// The run reached [`ClusterConfig::max_epoch_arrivals`].
+    /// Some shard held a pending worker-local event below the next
+    /// window expiry's `EventKey`: admitting the expiry would elide a
+    /// non-empty phase. Tracked apart from `shard_conflict` so the
+    /// cut-cause table attributes arrival-bound and expiry-bound
+    /// conflicts separately.
+    pub expiry_shard_conflict: u64,
+    /// [`ClusterConfig::coalesce_window_expiries`] is off and the run's
+    /// opening member was a window expiry: the PR-8 discipline makes it
+    /// a singleton epoch by fiat, not by any conflict.
+    pub coalescing_off: u64,
+    /// The run reached [`ClusterConfig::max_epoch_arrivals`] members
+    /// (arrivals and admitted expiries both count toward the cap).
     pub max_arrivals: u64,
     /// The coordinator's journal buffer reached
     /// [`ClusterConfig::journal_capacity`]: the journal can accept no
@@ -324,6 +366,8 @@ impl RunCutoffs {
     pub fn total(&self) -> u64 {
         self.serial_event
             + self.shard_conflict
+            + self.expiry_shard_conflict
+            + self.coalescing_off
             + self.max_arrivals
             + self.journal_pressure
             + self.trace_end
@@ -1158,6 +1202,7 @@ impl<'a> Engine<'a> {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::WindowExpire { model, strict, seq } => {
+                self.stats.expiries += 1;
                 let stale = self
                     .accumulators
                     .get(&(model, strict))
@@ -1394,12 +1439,19 @@ impl<'a> Engine<'a> {
     fn predictive_prewarm_tick(&mut self, idx: usize) {
         let now = self.now;
         let w = &mut self.workers[idx];
-        let observed = std::mem::take(&mut w.window_batches);
-        for (model, count) in observed {
-            w.predicted_batches
-                .entry(model)
-                .or_insert_with(|| protean_sim::Ewma::new(Self::PREWARM_EWMA_ALPHA))
-                .observe(count as f64);
+        // The window map is retained (counts zeroed in place) rather
+        // than `mem::take`n: taking it reallocated the BTreeMap nodes
+        // every monitor interval. Zero-count entries are models from
+        // earlier windows; skipping them reproduces the taken map's
+        // observe sequence exactly (same models, same BTreeMap order).
+        for (&model, count) in w.window_batches.iter_mut() {
+            if *count > 0 {
+                w.predicted_batches
+                    .entry(model)
+                    .or_insert_with(|| protean_sim::Ewma::new(Self::PREWARM_EWMA_ALPHA))
+                    .observe(*count as f64);
+                *count = 0;
+            }
         }
         if !self.config.predictive_prewarm || !matches!(w.status, WorkerStatus::Up) {
             return;

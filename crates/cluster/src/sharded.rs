@@ -1391,11 +1391,27 @@ impl<'a> Coordinator<'a> {
                     if ck.time > self.cutoff {
                         break;
                     }
-                    self.now = ck.time;
-                    let (k, ev) = self.coord_queue.pop().expect("peeked");
-                    self.begin_ctx(k);
-                    self.handle_coord(ev);
-                    self.audit_boundary(k.time, 1);
+                    if matches!(
+                        self.coord_queue.peek(),
+                        Some((_, CoordEvent::WindowExpire { .. }))
+                    ) {
+                        // A window expiry is dispatch-shaped, so it
+                        // *opens* a run instead of standing alone: the
+                        // phase bounded at its key just completed, which
+                        // is exactly the admission proof `dispatch_run`
+                        // requires of its first member. With
+                        // `coalesce_window_expiries` off the run is cut
+                        // immediately after this member — the PR-8
+                        // singleton-epoch discipline under the same
+                        // accounting.
+                        self.dispatch_run(&mut arrivals);
+                    } else {
+                        self.now = ck.time;
+                        let (k, ev) = self.coord_queue.pop().expect("peeked");
+                        self.begin_ctx(k);
+                        self.handle_coord(ev);
+                        self.audit_boundary(k.time, 1);
+                    }
                 }
                 Step::Done => break,
             }
@@ -1405,54 +1421,112 @@ impl<'a> Coordinator<'a> {
         self.censor_remaining();
     }
 
-    /// Peels and dispatches one maximal *arrival run* — the epoch
+    /// Peels and dispatches one maximal *dispatch run* — the epoch
     /// coarsening at the heart of this engine's scalability on
-    /// arrival-dense traces. The phase bounded at the run's first
-    /// arrival has just completed, so every shard's next pending event
-    /// (if any) sits at or after that arrival's bound. Each run member
-    /// is dispatched exactly as in per-arrival mode (serial context,
-    /// live index resolution, full mutation, per-arrival audit
-    /// opportunity); the run then *extends* to the next arrival only
-    /// when the phase the per-arrival discipline would insert before it
-    /// is provably empty:
+    /// dispatch-dense traces. A run is a maximal sequence of
+    /// consecutive dispatch-shaped events: gateway arrivals and (with
+    /// [`ClusterConfig::coalesce_window_expiries`]) `WindowExpire`
+    /// batch-window dispatches, which route the pending window batch
+    /// through the same `DispatchIndex` path an arrival uses. The phase
+    /// bounded at the run's first member has just completed, so every
+    /// shard's next pending event (if any) sits at or after that
+    /// member's bound. Each run member is handled exactly as in
+    /// per-arrival mode (serial context, live index resolution, full
+    /// mutation, per-member audit opportunity); the run then *extends*
+    /// to the next dispatch event only when the phase the per-arrival
+    /// discipline would insert before it is provably empty:
     ///
-    /// * the arrival wins its `ta <= te` tie against every pending
-    ///   serial coordinator event (re-checked each step — dispatching a
-    ///   run member can schedule a window expiry), and
-    /// * no shard holds a pending event below `(ta, 0, 0)` (re-checked
-    ///   each step — a cold start deposits a serially-keyed `BootDone`
-    ///   into a shard heap mid-run).
+    /// * the member wins its key-order tie against every other pending
+    ///   serial coordinator event — an arrival's bound `(ta, 0, 0)`
+    ///   orders before every real key at `ta` (real keys have
+    ///   `major >= 1`), so `ta <= te` is the arrival's tie win; a
+    ///   window expiry qualifies only as the coordinator-queue *head*,
+    ///   which (keys being unique) is an automatic strict win — both
+    ///   re-checked each step, since dispatching a run member can
+    ///   schedule a new window expiry, and
+    /// * no shard holds a pending event below the member's key
+    ///   (re-checked each step — a cold start deposits a serially-keyed
+    ///   `BootDone` into a shard heap mid-run). Events pushed *by* run
+    ///   members carry fresh serial majors greater than any admitted
+    ///   member's, so they can never retroactively invalidate an
+    ///   elision already proven.
     ///
-    /// A skipped phase with no participants has *no* effect in
-    /// per-arrival mode (`run_phase` returns 0 before touching the
+    /// The run cuts the moment a non-dispatch coordinator event
+    /// (`MonitorTick`, `RevocationCheck`, `EvictionFinal`, `VmReady`,
+    /// `ProcurementRetry`) wins the tie, or a shard conflict
+    /// intervenes. A skipped phase with no participants has *no* effect
+    /// in per-arrival mode (`run_phase` returns 0 before touching the
     /// epoch counter or the barrier, and a 0-event `audit_boundary` is
     /// a no-op), so eliding it is exact — bit-identical by
-    /// construction, for any workload, shard count and cap. Runs
-    /// additionally cut at [`ClusterConfig::max_epoch_arrivals`], under
+    /// construction, for any workload, shard count, cap and knob
+    /// setting. Runs additionally cut at
+    /// [`ClusterConfig::max_epoch_arrivals`] members, under
     /// journal-capacity pressure, and at the trace end / cutoff; every
     /// cut is attributed to exactly one cause so the counter triad
     /// reconciles (see [`Auditor::epoch_conservation`]).
     fn dispatch_run<I: Iterator<Item = Request>>(&mut self, arrivals: &mut Lookahead<I>) {
         let cap = self.config.max_epoch_arrivals.max(1);
+        let coalesce = self.config.coalesce_window_expiries;
         self.stats.epochs += 1;
-        let mut len = 0u64;
+        let mut members = 0u64;
+        let mut expiry_members = 0u64;
+        let mut first_is_expiry = false;
         loop {
-            let r = arrivals.next().expect("admission-checked");
-            self.now = r.arrival;
-            self.dseq += 1;
-            self.begin_ctx(EventKey::new(r.arrival, 0, self.dseq));
-            self.dispatch(r);
-            len += 1;
+            // Select the next member by key order over the unfiltered
+            // peeks. Admission was proven by the caller (first member:
+            // its bounding phase just ran) or by the extension check at
+            // the bottom of the previous iteration.
+            let take_arrival = match (arrivals.peek_arrival(), self.coord_queue.peek_key()) {
+                (Some(ta), Some(ck)) => ta <= ck.time,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("admission-checked"),
+            };
+            if take_arrival {
+                let r = arrivals.next().expect("peeked");
+                self.now = r.arrival;
+                self.dseq += 1;
+                self.begin_ctx(EventKey::new(r.arrival, 0, self.dseq));
+                self.dispatch(r);
+            } else {
+                let (k, ev) = self.coord_queue.pop().expect("peeked");
+                debug_assert!(
+                    matches!(ev, CoordEvent::WindowExpire { .. }),
+                    "only window expiries are admitted into dispatch runs"
+                );
+                if members == 0 {
+                    first_is_expiry = true;
+                }
+                expiry_members += 1;
+                self.now = k.time;
+                self.begin_ctx(k);
+                self.handle_coord(ev);
+            }
+            members += 1;
             self.audit_boundary(self.now, 1);
 
-            let ta = match arrivals.peek_arrival() {
-                Some(ta) if ta <= self.cutoff => ta,
-                _ => {
-                    self.stats.run_cutoffs.trace_end += 1;
-                    break;
+            // With coalescing off, an expiry-opened run is a singleton
+            // epoch by fiat (the PR-8 discipline) — and arrival-opened
+            // runs never admit expiries (below), so `first_is_expiry`
+            // here means this very member was the expiry.
+            if !coalesce && first_is_expiry {
+                self.stats.run_cutoffs.coalescing_off += 1;
+                break;
+            }
+            let ta = arrivals.peek_arrival().filter(|&ta| ta <= self.cutoff);
+            let next_expiry_key = match self.coord_queue.peek() {
+                Some((ck, CoordEvent::WindowExpire { .. }))
+                    if coalesce && ck.time <= self.cutoff =>
+                {
+                    Some(ck)
                 }
+                _ => None,
             };
-            if len >= cap {
+            if ta.is_none() && next_expiry_key.is_none() {
+                self.stats.run_cutoffs.trace_end += 1;
+                break;
+            }
+            if members >= cap {
                 self.stats.run_cutoffs.max_arrivals += 1;
                 break;
             }
@@ -1462,22 +1536,40 @@ impl<'a> Coordinator<'a> {
                 self.stats.run_cutoffs.journal_pressure += 1;
                 break;
             }
-            if self.coord_queue.peek_key().is_some_and(|ck| ck.time < ta) {
+            let ck = self.coord_queue.peek_key();
+            let arrival_next = ta.is_some_and(|ta| ck.is_none_or(|ck| ta <= ck.time));
+            if arrival_next {
+                let bound = EventKey::new(ta.expect("checked"), 0, 0);
+                if (0..self.shards()).any(|s| self.core(s).queue.has_event_before(bound)) {
+                    self.stats.run_cutoffs.shard_conflict += 1;
+                    break;
+                }
+            } else if let Some(bound) = next_expiry_key {
+                if (0..self.shards()).any(|s| self.core(s).queue.has_event_before(bound)) {
+                    self.stats.run_cutoffs.expiry_shard_conflict += 1;
+                    break;
+                }
+            } else {
+                // A non-dispatch coordinator event (or, with the knob
+                // off, a window expiry) beat the next arrival.
                 self.stats.run_cutoffs.serial_event += 1;
                 break;
             }
-            let bound = EventKey::new(ta, 0, 0);
-            if (0..self.shards()).any(|s| self.core(s).queue.has_event_before(bound)) {
-                self.stats.run_cutoffs.shard_conflict += 1;
-                break;
-            }
         }
-        self.stats.coalesced_arrivals += len - 1;
+        let arrival_members = members - expiry_members;
+        if first_is_expiry {
+            self.stats.coalesced_arrivals += arrival_members;
+            self.stats.coalesced_expiries += expiry_members - 1;
+        } else {
+            self.stats.coalesced_arrivals += arrival_members - 1;
+            self.stats.coalesced_expiries += expiry_members;
+        }
     }
 
     fn handle_coord(&mut self, ev: CoordEvent) {
         match ev {
             CoordEvent::WindowExpire { model, strict, seq } => {
+                self.stats.expiries += 1;
                 let stale = self
                     .accumulators
                     .get(&(model, strict))
@@ -1548,12 +1640,17 @@ impl<'a> Coordinator<'a> {
         let core = self.core_mut(g % self.shards());
         let l = core.local(g);
         let w = &mut core.workers[l];
-        let observed = std::mem::take(&mut w.window_batches);
-        for (model, count) in observed {
-            w.predicted_batches
-                .entry(model)
-                .or_insert_with(|| protean_sim::Ewma::new(Self::PREWARM_EWMA_ALPHA))
-                .observe(count as f64);
+        // Retained map, counts zeroed in place — see the sequential
+        // engine's prewarm tick for the allocation-saving rationale and
+        // the observe-sequence equivalence argument.
+        for (&model, count) in w.window_batches.iter_mut() {
+            if *count > 0 {
+                w.predicted_batches
+                    .entry(model)
+                    .or_insert_with(|| protean_sim::Ewma::new(Self::PREWARM_EWMA_ALPHA))
+                    .observe(*count as f64);
+                *count = 0;
+            }
         }
         if !self.config.predictive_prewarm || !matches!(w.status, WorkerStatus::Up) {
             return;
@@ -2290,16 +2387,21 @@ mod tests {
         assert_equivalent(&base, &coarse);
         assert!(base.audit.is_clean(), "{:?}", base.audit.violations);
         assert!(coarse.audit.is_clean(), "{:?}", coarse.audit.violations);
-        // Per-arrival epochs: every run is a singleton.
-        assert_eq!(base.stats.epochs, base.stats.arrivals);
+        // Per-arrival epochs: every run is a singleton (arrivals and
+        // window expiries alike — cap 1 cuts after the first member).
+        assert_eq!(base.stats.epochs, base.stats.arrivals + base.stats.expiries);
         assert_eq!(base.stats.coalesced_arrivals, 0);
-        // Coarsening actually coalesces on an arrival-dense trace, and
-        // the counter triad reconciles.
+        assert_eq!(base.stats.coalesced_expiries, 0);
+        // Coarsening actually coalesces on a dispatch-dense trace —
+        // arrivals and window expiries both — and the extended counter
+        // triad reconciles.
         assert!(coarse.stats.epochs < coarse.stats.arrivals);
         assert!(coarse.stats.coalesced_arrivals > 0);
+        assert!(coarse.stats.coalesced_expiries > 0);
+        assert_eq!(coarse.stats.expiries, base.stats.expiries);
         assert_eq!(
-            coarse.stats.epochs + coarse.stats.coalesced_arrivals,
-            coarse.stats.arrivals
+            coarse.stats.epochs + coarse.stats.coalesced_arrivals + coarse.stats.coalesced_expiries,
+            coarse.stats.arrivals + coarse.stats.expiries
         );
         assert_eq!(coarse.stats.run_cutoffs.total(), coarse.stats.epochs);
         assert_eq!(base.stats.run_cutoffs.total(), base.stats.epochs);
@@ -2349,6 +2451,90 @@ mod tests {
     }
 
     #[test]
+    fn expiry_run_is_cut_exactly_at_the_first_non_dispatch_coord_event() {
+        // Two strict arrivals for *different* models at 1.900 s and
+        // 1.920 s open two batch accumulators, whose 50 ms window
+        // expiries fire at 1.950 s and 1.970 s — both before the t = 2 s
+        // monitor tick — and a third arrival lands beyond the tick at
+        // 2.100 s. With expiry coalescing on, one run covers the first
+        // four dispatch events (arrival, arrival, expiry, expiry): each
+        // expiry is the coordinator-queue head when admitted and no
+        // shard holds anything below its key (cold-start `BootDone`s
+        // land ~8 s out). The run must then cut *exactly* at the tick —
+        // the first non-dispatch coordinator event, which beats the
+        // 2.100 s arrival — and the tick itself is handled as a plain
+        // serial event, not an epoch. The second run is the last
+        // arrival plus its own window expiry, ending with the trace.
+        let requests = vec![
+            Request {
+                id: protean_trace::RequestId(0),
+                arrival: SimTime::from_millis(1900.0),
+                model: ModelId::ResNet50,
+                strict: true,
+            },
+            Request {
+                id: protean_trace::RequestId(1),
+                arrival: SimTime::from_millis(1920.0),
+                model: ModelId::GoogleNet,
+                strict: true,
+            },
+            Request {
+                id: protean_trace::RequestId(2),
+                arrival: SimTime::from_millis(2100.0),
+                model: ModelId::ResNet50,
+                strict: true,
+            },
+        ];
+        let t = Trace::from_parts(requests.clone(), SimDuration::from_secs(3.0));
+        let mut config = ClusterConfig::small_test();
+        config.audit = true;
+        config.shards = 2;
+        config.shard_threads = 1;
+        let par = crate::engine::run_simulation_on(&config, &AlwaysLargest, t);
+        assert!(par.audit.is_clean(), "{:?}", par.audit.violations);
+        assert_eq!(par.stats.arrivals, 3);
+        assert_eq!(par.stats.expiries, 3);
+        assert_eq!(par.stats.epochs, 2);
+        assert_eq!(par.stats.coalesced_arrivals, 1);
+        assert_eq!(par.stats.coalesced_expiries, 3);
+        assert_eq!(par.stats.run_cutoffs.serial_event, 1);
+        assert_eq!(par.stats.run_cutoffs.trace_end, 1);
+        assert_eq!(par.stats.run_cutoffs.total(), par.stats.epochs);
+
+        // Knob off: the PR-8 discipline. The first arrival run is cut
+        // by the (now inadmissible) 1.950 s expiry as a plain serial
+        // event; every expiry is then a singleton epoch cut by fiat,
+        // attributed to `coalescing_off`.
+        let mut off = config.clone();
+        off.coalesce_window_expiries = false;
+        let t = Trace::from_parts(requests.clone(), SimDuration::from_secs(3.0));
+        let off_r = crate::engine::run_simulation_on(&off, &AlwaysLargest, t);
+        assert!(off_r.audit.is_clean(), "{:?}", off_r.audit.violations);
+        assert_eq!(off_r.stats.arrivals, 3);
+        assert_eq!(off_r.stats.expiries, 3);
+        assert_eq!(off_r.stats.epochs, 5);
+        assert_eq!(off_r.stats.coalesced_arrivals, 1);
+        assert_eq!(off_r.stats.coalesced_expiries, 0);
+        assert_eq!(off_r.stats.run_cutoffs.serial_event, 1);
+        assert_eq!(off_r.stats.run_cutoffs.coalescing_off, 3);
+        assert_eq!(off_r.stats.run_cutoffs.trace_end, 1);
+        assert_eq!(off_r.stats.run_cutoffs.total(), off_r.stats.epochs);
+
+        // Both arms bit-identical to the sequential engine.
+        let seq = crate::engine::run_simulation_on(
+            &ClusterConfig {
+                audit: true,
+                ..ClusterConfig::small_test()
+            },
+            &AlwaysLargest,
+            Trace::from_parts(requests, SimDuration::from_secs(3.0)),
+        );
+        assert_eq!(seq.stats.expiries, 3);
+        assert_equivalent(&seq, &par);
+        assert_equivalent(&seq, &off_r);
+    }
+
+    #[test]
     fn journal_pressure_cuts_runs_and_stays_equivalent() {
         let mut config = ClusterConfig::small_test();
         config.journal_capacity = 512;
@@ -2361,8 +2547,8 @@ mod tests {
             par.stats.run_cutoffs
         );
         assert_eq!(
-            par.stats.epochs + par.stats.coalesced_arrivals,
-            par.stats.arrivals
+            par.stats.epochs + par.stats.coalesced_arrivals + par.stats.coalesced_expiries,
+            par.stats.arrivals + par.stats.expiries
         );
         assert_eq!(par.stats.run_cutoffs.total(), par.stats.epochs);
     }

@@ -218,7 +218,11 @@ pub struct Worker {
     pub outstanding: u64,
     /// Batches dispatched here per model in the current monitor window
     /// (drives predictive container pre-provisioning). `BTreeMap` so the
-    /// prewarm tick visits models in a deterministic order.
+    /// prewarm tick visits models in a deterministic order. The map is
+    /// retained across monitor ticks with counts zeroed in place (never
+    /// `mem::take`n), so its nodes are allocated once per model ever
+    /// routed here rather than once per model per window; entries with
+    /// a zero count are models idle since the last window.
     pub window_batches: BTreeMap<ModelId, u64>,
     /// EWMA of per-window batch arrivals per model.
     pub predicted_batches: BTreeMap<ModelId, protean_sim::Ewma>,

@@ -421,6 +421,21 @@ fn pr7_json(
         "  \"duration_secs\": {:.1},\n  \"seed\": {},\n  \"host_cores\": {},\n",
         setup.duration_secs, setup.seed, cores
     ));
+    out.push_str(&protean_experiments::report::floors_json(
+        cores,
+        &[
+            (
+                "pulse_speedup_ge_2x_at_s4",
+                setup.duration_secs >= 10.0 && cores >= 4,
+                "duration_secs >= 10 && host_cores >= 4",
+            ),
+            (
+                "soak_memory_growth_le_256mb",
+                true,
+                "always (asserted whenever the soak runs)",
+            ),
+        ],
+    ));
     out.push_str("  \"cells\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(

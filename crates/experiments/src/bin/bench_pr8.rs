@@ -114,6 +114,10 @@ fn run_cell(
         c.shards = shards;
         c.shard_threads = shards.min(2);
         c.max_epoch_arrivals = cap;
+        // This benchmark is the PR-8 historical record: arrival-run
+        // coarsening with every window expiry a singleton epoch.
+        // `bench_pr10` owns the expiry-coalescing differential.
+        c.coalesce_window_expiries = false;
         let mut best = f64::INFINITY;
         let mut result = None;
         for _ in 0..reps.max(1) {
@@ -142,12 +146,14 @@ fn run_cell(
         "{trace_name} @ {workers} workers, S={shards}: coarsened arm diverged from sequential"
     );
 
-    // Contract 2: the counter triad reconciles on both arms, and the
-    // per-arrival arm really is one epoch per arrival.
+    // Contract 2: the extended counter triad reconciles on both arms,
+    // and the per-arrival arm really is one epoch per dispatch event
+    // (with expiry coalescing pinned off here, no expiries coalesce on
+    // either arm).
     for (arm, r) in [("per-arrival", &per_arrival), ("coarsened", &coarse)] {
         assert_eq!(
-            r.stats.epochs + r.stats.coalesced_arrivals,
-            r.stats.arrivals,
+            r.stats.epochs + r.stats.coalesced_arrivals + r.stats.coalesced_expiries,
+            r.stats.arrivals + r.stats.expiries,
             "{trace_name} S={shards} {arm}: epoch conservation broken"
         );
         assert_eq!(
@@ -155,8 +161,15 @@ fn run_cell(
             r.stats.epochs,
             "{trace_name} S={shards} {arm}: cutoff attribution broken"
         );
+        assert_eq!(
+            r.stats.coalesced_expiries, 0,
+            "{trace_name} S={shards} {arm}: expiries coalesced with the knob off"
+        );
     }
-    assert_eq!(per_arrival.stats.epochs, per_arrival.stats.arrivals);
+    assert_eq!(
+        per_arrival.stats.epochs,
+        per_arrival.stats.arrivals + per_arrival.stats.expiries
+    );
     assert_eq!(per_arrival.stats.coalesced_arrivals, 0);
 
     CellRow {
@@ -184,6 +197,21 @@ fn pr8_json(setup: &PaperSetup, cores: usize, rows: &[CellRow]) -> String {
         "  \"coarse_cap\": {COARSE_CAP},\n  \"duration_secs\": {:.1},\n  \"seed\": {},\n  \
          \"host_cores\": {},\n",
         setup.duration_secs, setup.seed, cores
+    ));
+    out.push_str(&protean_experiments::report::floors_json(
+        cores,
+        &[
+            (
+                "wiki_speedup_ge_1x",
+                setup.duration_secs >= 10.0 && cores >= 4,
+                "duration_secs >= 10 && host_cores >= 4",
+            ),
+            (
+                "wiki_epochs_per_arrival_le_0.5",
+                true,
+                "always (deterministic, host-independent)",
+            ),
+        ],
     ));
     out.push_str("  \"cells\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -241,6 +241,15 @@ impl<E> KeyedEventQueue<E> {
         self.heap.peek().map(|e| e.key)
     }
 
+    /// The smallest pending key and a borrow of its event, without
+    /// removing either. The sharded engine's run peeler uses this to
+    /// decide whether the next coordinator event is dispatch-shaped (a
+    /// window expiry it may admit into the run) before committing to a
+    /// pop.
+    pub fn peek(&self) -> Option<(EventKey, &E)> {
+        self.heap.peek().map(|e| (e.key, &e.event))
+    }
+
     /// `true` if some pending event orders strictly before `bound` —
     /// the phase-participation / run-conflict test of the sharded
     /// cluster engine, which must decide in O(1) per shard whether a

@@ -58,7 +58,7 @@ require_bin() {
   fi
 }
 
-for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6 bench_pr7 bench_pr8; do
+for bin in "${BINARIES[@]}" stats_significance harness_timing bench_pr3 bench_pr5 bench_pr6 bench_pr7 bench_pr8 bench_pr10; do
   require_bin "$bin"
 done
 
@@ -107,6 +107,14 @@ echo ">>> bench_pr7"
 # written to results/bench_pr8.json.
 echo ">>> bench_pr8"
 ./target/release/bench_pr8 30 "$SEED" >"$OUT/bench_pr8.txt" 2>/dev/null
+
+# Window-expiry coalescing differential (knob off vs on, digest
+# equality, the epochs-per-dispatch-event floor and shard-count
+# invariance asserted on every cell) plus the 100k-worker planetary
+# fleet streamed cell (1e8 requests, digest preflight, flat RSS +
+# live-bytes asserted), written to results/bench_pr10.json.
+echo ">>> bench_pr10"
+./target/release/bench_pr10 30 "$SEED" >"$OUT/bench_pr10.txt" 2>/dev/null
 
 # Adversarial scenario catalog at full rates: every scenario runs both
 # engine arms (digest equality asserted) and writes a JSON report card

@@ -124,11 +124,12 @@ proptest! {
 
     /// Epoch coarsening is a pure elision of provably-empty phases, so
     /// the digest must be invariant not only in the shard count but in
-    /// the coarsening cap: per-arrival (`max_epoch_arrivals = 1`),
-    /// lightly coarsened and fully coarsened runs of the same cell must
-    /// all reproduce the sequential digest, across schemes of both
-    /// dispatch policies, seeds, rates and mixes — and the counter
-    /// triad must reconcile on every arm.
+    /// the coarsening cap AND the window-expiry coalescing knob:
+    /// per-arrival (`max_epoch_arrivals = 1`), lightly coarsened and
+    /// fully coarsened runs of the same cell — with expiry admission on
+    /// and off — must all reproduce the sequential digest, across
+    /// schemes of both dispatch policies, seeds, rates and mixes — and
+    /// the extended counter triad must reconcile on every arm.
     #[test]
     fn prop_digest_invariant_under_epoch_coarsening(
         seed in 0u64..1000,
@@ -138,6 +139,7 @@ proptest! {
         scheme_idx in 0usize..4,
         shards in prop::sample::select(vec![2usize, 4, 8]),
         cap in prop::sample::select(vec![1u64, 4, 64]),
+        coalesce_expiries in proptest::bool::ANY,
     ) {
         let config = quick_config(seed);
         let trace = quick_trace(model, rps, strict_fraction);
@@ -147,16 +149,28 @@ proptest! {
         sharded.shards = shards;
         sharded.shard_threads = 2;
         sharded.max_epoch_arrivals = cap;
+        sharded.coalesce_window_expiries = coalesce_expiries;
         let parallel = run_simulation(&sharded, scheme.as_ref(), &trace);
         prop_assert_eq!(digest(&sequential), digest(&parallel));
+        prop_assert_eq!(parallel.stats.expiries, sequential.stats.expiries);
         prop_assert_eq!(
-            parallel.stats.epochs + parallel.stats.coalesced_arrivals,
-            parallel.stats.arrivals
+            parallel.stats.epochs
+                + parallel.stats.coalesced_arrivals
+                + parallel.stats.coalesced_expiries,
+            parallel.stats.arrivals + parallel.stats.expiries
         );
         prop_assert_eq!(parallel.stats.run_cutoffs.total(), parallel.stats.epochs);
         if cap == 1 {
-            prop_assert_eq!(parallel.stats.epochs, parallel.stats.arrivals);
+            // Every dispatch event is a singleton run.
+            prop_assert_eq!(
+                parallel.stats.epochs,
+                parallel.stats.arrivals + parallel.stats.expiries
+            );
             prop_assert_eq!(parallel.stats.coalesced_arrivals, 0);
+            prop_assert_eq!(parallel.stats.coalesced_expiries, 0);
+        }
+        if !coalesce_expiries {
+            prop_assert_eq!(parallel.stats.coalesced_expiries, 0);
         }
     }
 
@@ -201,15 +215,28 @@ proptest! {
         let mut market = script();
         let coarse =
             run_simulation_with_oracle(&coarse_cfg, &ProteanBuilder::paper(), &trace, &mut market);
+        // Third arm: coarsened with window-expiry coalescing off (the
+        // PR-8 discipline) — same digest, same sweep cadence.
+        let mut no_expiry_cfg = coarse_cfg.clone();
+        no_expiry_cfg.coalesce_window_expiries = false;
+        let mut market = script();
+        let no_expiry =
+            run_simulation_with_oracle(&no_expiry_cfg, &ProteanBuilder::paper(), &trace, &mut market);
         prop_assert_eq!(digest(&per_arrival), digest(&coarse));
+        prop_assert_eq!(digest(&per_arrival), digest(&no_expiry));
         prop_assert!(per_arrival.audit.is_clean(), "{:?}", per_arrival.audit.violations);
         prop_assert!(coarse.audit.is_clean(), "{:?}", coarse.audit.violations);
+        prop_assert!(no_expiry.audit.is_clean(), "{:?}", no_expiry.audit.violations);
         prop_assert!(coarse.audit.checks > 0);
         prop_assert_eq!(per_arrival.audit.checks, coarse.audit.checks);
-        prop_assert_eq!(
-            coarse.stats.epochs + coarse.stats.coalesced_arrivals,
-            coarse.stats.arrivals
-        );
-        prop_assert_eq!(coarse.stats.run_cutoffs.total(), coarse.stats.epochs);
+        prop_assert_eq!(per_arrival.audit.checks, no_expiry.audit.checks);
+        for arm in [&coarse, &no_expiry] {
+            prop_assert_eq!(
+                arm.stats.epochs + arm.stats.coalesced_arrivals + arm.stats.coalesced_expiries,
+                arm.stats.arrivals + arm.stats.expiries
+            );
+            prop_assert_eq!(arm.stats.run_cutoffs.total(), arm.stats.epochs);
+        }
+        prop_assert_eq!(no_expiry.stats.coalesced_expiries, 0);
     }
 }
